@@ -1,0 +1,479 @@
+// Benchmarks regenerating every table and figure of Hillyer &
+// Silberschatz (SIGMOD 1996), plus ablations for the design choices
+// DESIGN.md calls out. Each BenchmarkFigN runs a reduced-trial
+// version of the corresponding experiment per iteration and reports
+// the headline reproduced metric via b.ReportMetric; the cmd/
+// binaries run the same experiments at full size and print the
+// complete tables (see EXPERIMENTS.md for paper-vs-measured values).
+package serpentine_test
+
+import (
+	"sync"
+	"testing"
+
+	"serpentine"
+	"serpentine/internal/core"
+	"serpentine/internal/drive"
+	"serpentine/internal/geometry"
+	"serpentine/internal/locate"
+	"serpentine/internal/sim"
+	"serpentine/internal/workload"
+)
+
+// Shared fixtures, built once.
+var bench struct {
+	once   sync.Once
+	tapeA  *geometry.Tape // the model-development cartridge
+	tapeB  *geometry.Tape
+	modelA *locate.Model
+	modelB *locate.Model
+}
+
+func fixtures(b *testing.B) (*geometry.Tape, *geometry.Tape, *locate.Model, *locate.Model) {
+	b.Helper()
+	bench.once.Do(func() {
+		pa := geometry.DLT4000()
+		pa.PersonalityFrac = 0
+		bench.tapeA = geometry.MustGenerate(pa, 1)
+		bench.tapeB = geometry.MustGenerate(geometry.DLT4000(), 2)
+		var err error
+		if bench.modelA, err = locate.FromKeyPoints(bench.tapeA.KeyPoints()); err != nil {
+			panic(err)
+		}
+		if bench.modelB, err = locate.FromKeyPoints(bench.tapeB.KeyPoints()); err != nil {
+			panic(err)
+		}
+	})
+	return bench.tapeA, bench.tapeB, bench.modelA, bench.modelB
+}
+
+// BenchmarkFig1LocateCurve regenerates Figure 1: the locate and
+// rewind time curves from segment 0 across the tape (one sample per
+// section).
+func BenchmarkFig1LocateCurve(b *testing.B) {
+	_, _, m, _ := fixtures(b)
+	step := 701
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for dst := 0; dst < m.Segments(); dst += step {
+			last = m.LocateTime(0, dst) + m.RewindTime(dst)
+		}
+	}
+	_ = last
+	b.ReportMetric(float64(m.Segments()/step), "points")
+}
+
+// figConfig is a reduced-trial Figure 4/5 configuration.
+func figConfig(m *locate.Model, start sim.StartMode) sim.Config {
+	return sim.Config{
+		Model: m,
+		Schedulers: []core.Scheduler{
+			core.Read{}, core.FIFO{}, core.NewOPT(12), core.Sort{},
+			core.NewSLTF(), core.Scan{}, core.Weave{}, core.NewLOSS(),
+		},
+		Lengths: []int{1, 10, 96, 512},
+		Trials:  func(n int) int { return 3 },
+		Start:   start,
+		Seed:    12345,
+	}
+}
+
+// BenchmarkFig4RandomStart regenerates Figure 4 (mean time per
+// locate, random starting point) on a reduced grid and reports LOSS's
+// per-locate seconds at batch 96 (paper: ~29 s => 124 I/Os per hour).
+func BenchmarkFig4RandomStart(b *testing.B) {
+	_, _, m, _ := fixtures(b)
+	var per float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(figConfig(m, sim.RandomStart))
+		if err != nil {
+			b.Fatal(err)
+		}
+		per, _ = res.MeanPerLocate("LOSS", 96)
+	}
+	b.ReportMetric(per, "s/locate@LOSS-96")
+}
+
+// BenchmarkFig5BOTStart regenerates Figure 5 (start at the beginning
+// of tape) and reports FIFO's per-locate seconds at batch 1 (paper:
+// the 96.5 s mean locate from BOT).
+func BenchmarkFig5BOTStart(b *testing.B) {
+	_, _, m, _ := fixtures(b)
+	var per float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(figConfig(m, sim.BOTStart))
+		if err != nil {
+			b.Fatal(err)
+		}
+		per, _ = res.MeanPerLocate("FIFO", 1)
+	}
+	b.ReportMetric(per, "s/locate@FIFO-1")
+}
+
+// BenchmarkFig6SchedulingCPU regenerates Figure 6: the CPU cost of
+// generating one schedule, per algorithm and batch size. The ns/op of
+// each sub-benchmark IS the figure's data point on this host.
+func BenchmarkFig6SchedulingCPU(b *testing.B) {
+	_, _, m, _ := fixtures(b)
+	sizes := []int{96, 512, 2048}
+	algs := []core.Scheduler{
+		core.FIFO{}, core.Sort{}, core.NewSLTF(), core.Scan{},
+		core.Weave{}, core.NewLOSS(), core.NewLOSSCoalesced(core.DefaultCoalesceThreshold),
+		core.NewSparseLOSS(),
+	}
+	for _, alg := range algs {
+		for _, n := range sizes {
+			if alg.Name() == "LOSS" && n > 2048 {
+				continue
+			}
+			b.Run(alg.Name()+"/n="+itoa(n), func(b *testing.B) {
+				p := benchProblem(b, m, n, 1)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := alg.Schedule(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	// OPT's exponential curve, up to the paper's 12.
+	for _, n := range []int{8, 10, 12} {
+		b.Run("OPT/n="+itoa(n), func(b *testing.B) {
+			p := benchProblem(b, m, n, 2)
+			opt := core.NewOPT(12)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.Schedule(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Utilization regenerates Figure 7 (utilization contours
+// by schedule length and transfer size) and reports the transfer size
+// at which a 10-request schedule reaches 50% of the sequential rate.
+func BenchmarkFig7Utilization(b *testing.B) {
+	tapeA, _, m, _ := fixtures(b)
+	var mb float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Model:      m,
+			Schedulers: []core.Scheduler{core.NewLOSS()},
+			Lengths:    []int{1, 10, 96},
+			Trials:     func(int) int { return 5 },
+			Start:      sim.RandomStart,
+			Seed:       7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		curves, err := sim.UtilizationCurves(res, "LOSS", tapeA.Params().TransferRateBytesPerSec(), []float64{0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mb = curves[0].TransferMB[1]
+	}
+	b.ReportMetric(mb, "MB@50%-n10")
+}
+
+// BenchmarkFig8Validation regenerates Figure 8 (estimate vs measured
+// execution on the emulated drive, correct key points) and reports
+// the absolute percent error at batch 96 (paper: well under 1%).
+func BenchmarkFig8Validation(b *testing.B) {
+	tapeA, _, m, _ := fixtures(b)
+	var err96 float64
+	for i := 0; i < b.N; i++ {
+		points, err := sim.Validate(sim.ValidationConfig{
+			Drive:   drive.New(tapeA, drive.WithNoiseSeed(int64(i))),
+			Model:   m,
+			Lengths: []int{96},
+			Trials:  2,
+			Seed:    3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		err96 = abs(points[0].PctError())
+	}
+	b.ReportMetric(err96, "abs-err%@96")
+}
+
+// BenchmarkFig9WrongKeyPoints regenerates Figure 9 (tape A executed
+// with tape B's key points) and reports the percent error magnitude
+// (paper: ~20%, "disastrous").
+func BenchmarkFig9WrongKeyPoints(b *testing.B) {
+	tapeA, _, _, mb := fixtures(b)
+	var err96 float64
+	for i := 0; i < b.N; i++ {
+		points, err := sim.Validate(sim.ValidationConfig{
+			Drive:   drive.New(tapeA, drive.WithNoiseSeed(int64(i))),
+			Model:   mb,
+			Lengths: []int{96},
+			Trials:  2,
+			Seed:    3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		err96 = abs(points[0].PctError())
+	}
+	b.ReportMetric(err96, "abs-err%@96")
+}
+
+// BenchmarkFig10Perturbed regenerates Figure 10 (schedule quality
+// under a systematically perturbed locate model) and reports the mean
+// percent execution-time increase at E=10 s (paper: 1-2%).
+func BenchmarkFig10Perturbed(b *testing.B) {
+	_, _, m, _ := fixtures(b)
+	var incr float64
+	for i := 0; i < b.N; i++ {
+		points, err := sim.PerturbStudy(sim.PerturbConfig{
+			Model:   m,
+			Errors:  []float64{2, 10},
+			Lengths: []int{96},
+			Trials:  func(int) int { return 4 },
+			Start:   sim.BOTStart,
+			Seed:    11,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.E == 10 {
+				incr = p.MeanPctIncr
+			}
+		}
+	}
+	b.ReportMetric(incr, "incr%@E10-n96")
+}
+
+// BenchmarkSec3ModelAccuracy regenerates the Section 3 accuracy test
+// (random locates, measured vs modeled) and reports the fraction of
+// locates off by more than 2 s, in percent (paper: 7/3000 = 0.23%).
+func BenchmarkSec3ModelAccuracy(b *testing.B) {
+	tapeA, _, m, _ := fixtures(b)
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		acc, err := sim.LocateAccuracy(drive.New(tapeA, drive.WithNoiseSeed(int64(i))), m, 500, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pct = 100 * float64(acc.Over2s) / float64(acc.Locates)
+	}
+	b.ReportMetric(pct, "over2s%")
+}
+
+// BenchmarkSec8Summary regenerates the Section 8 retrieval-rate
+// summary and reports LOSS's I/Os per hour at batch 96 (paper: 124).
+func BenchmarkSec8Summary(b *testing.B) {
+	_, _, m, _ := fixtures(b)
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Model:      m,
+			Schedulers: []core.Scheduler{core.FIFO{}, core.NewOPT(12), core.NewLOSS(), core.Read{}},
+			Lengths:    []int{10, 96, 192, 1024, 1536},
+			Trials: func(n int) int {
+				if n >= 1024 {
+					return 1
+				}
+				return 5
+			},
+			Start: sim.RandomStart,
+			Seed:  2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := sim.Summary(res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = rows[2].IOsPerHour
+	}
+	b.ReportMetric(rate, "IO/h@LOSS-96")
+}
+
+// --- Ablations -------------------------------------------------------
+
+// BenchmarkAblationCoalescing compares LOSS with and without the
+// paper's segment coalescing at batch 512: quality is nearly
+// identical while the coalesced instance is far smaller.
+func BenchmarkAblationCoalescing(b *testing.B) {
+	_, _, m, _ := fixtures(b)
+	for _, s := range []core.Scheduler{core.NewLOSS(), core.NewLOSSCoalesced(core.DefaultCoalesceThreshold)} {
+		b.Run(s.Name(), func(b *testing.B) {
+			p := benchProblem(b, m, 512, 5)
+			var total float64
+			for i := 0; i < b.N; i++ {
+				plan, err := s.Schedule(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = plan.Estimate(p).Total()
+			}
+			b.ReportMetric(total, "sched-s")
+		})
+	}
+}
+
+// BenchmarkAblationSparseLOSS compares the paper's future-work sparse
+// LOSS against dense coalesced LOSS at batch 1024.
+func BenchmarkAblationSparseLOSS(b *testing.B) {
+	_, _, m, _ := fixtures(b)
+	for _, s := range []core.Scheduler{core.NewLOSSCoalesced(core.DefaultCoalesceThreshold), core.NewSparseLOSS()} {
+		b.Run(s.Name(), func(b *testing.B) {
+			p := benchProblem(b, m, 1024, 6)
+			var total float64
+			for i := 0; i < b.N; i++ {
+				plan, err := s.Schedule(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = plan.Estimate(p).Total()
+			}
+			b.ReportMetric(total, "sched-s")
+		})
+	}
+}
+
+// BenchmarkAblationOrOpt measures what the or-opt improvement pass
+// buys over plain SLTF at batch 96.
+func BenchmarkAblationOrOpt(b *testing.B) {
+	_, _, m, _ := fixtures(b)
+	for _, s := range []core.Scheduler{core.NewSLTF(), core.Improved{Base: core.NewSLTF()}} {
+		b.Run(s.Name(), func(b *testing.B) {
+			p := benchProblem(b, m, 96, 7)
+			var total float64
+			for i := 0; i < b.N; i++ {
+				plan, err := s.Schedule(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = plan.Estimate(p).Total()
+			}
+			b.ReportMetric(total, "sched-s")
+		})
+	}
+}
+
+// BenchmarkProfiles runs the core comparison on the extension device
+// profiles: the scheduling win carries over to faster serpentine
+// drives.
+func BenchmarkProfiles(b *testing.B) {
+	for _, profile := range []geometry.Params{geometry.DLT7000(), geometry.IBM3590()} {
+		b.Run(profile.Name, func(b *testing.B) {
+			tape := geometry.MustGenerate(profile, 1)
+			m, err := locate.FromKeyPoints(tape.KeyPoints())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				p := benchProblem(b, m, 96, int64(i))
+				fifo, err := core.FIFO{}.Schedule(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss, err := core.NewLOSS().Schedule(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = fifo.Estimate(p).Total() / loss.Estimate(p).Total()
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkDriveExecute measures the emulated drive's operation rate.
+func BenchmarkDriveExecute(b *testing.B) {
+	tapeA, _, _, _ := fixtures(b)
+	d := drive.New(tapeA)
+	gen := workload.NewUniform(tapeA.Segments(), 3)
+	order := gen.Batch(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ExecuteOrder(order, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocateTime measures the model evaluation itself; every
+// scheduler's inner loop is made of these.
+func BenchmarkLocateTime(b *testing.B) {
+	_, _, m, _ := fixtures(b)
+	gen := workload.NewUniform(m.Segments(), 5)
+	pairs := gen.Batch(2048)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.LocateTime(pairs[i%2047], pairs[(i+1)%2048])
+	}
+	_ = sink
+}
+
+// BenchmarkLibraryDay runs a full multi-tape library day per
+// iteration: the end-to-end system path.
+func BenchmarkLibraryDay(b *testing.B) {
+	profile := geometry.Tiny()
+	cat := serpentine.NewCatalog()
+	tape := geometry.MustGenerate(profile, 101)
+	for i := 0; i < 32; i++ {
+		if err := cat.Put(serpentine.Object{ID: itoa(i), Tape: 101, Start: i * tape.Segments() / 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var reqs []serpentine.ObjectRequest
+	for i := 0; i < 32; i++ {
+		reqs = append(reqs, serpentine.ObjectRequest{ObjectID: itoa((i * 7) % 32)})
+	}
+	b.ResetTimer()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		lib, err := serpentine.NewLibrary(serpentine.LibraryConfig{Profile: profile, Tapes: []int64{101}}, cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, m, err := lib.Run(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = m.IOsPerHour()
+	}
+	b.ReportMetric(rate, "IO/h")
+}
+
+// --- helpers ---------------------------------------------------------
+
+func benchProblem(b *testing.B, m *locate.Model, n int, seed int64) *core.Problem {
+	b.Helper()
+	gen := workload.NewUniform(m.Segments(), seed)
+	set := gen.Batch(n + 1)
+	return &core.Problem{Start: set[0], Requests: set[1:], Cost: m}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestReadRequestsFromArgs(t *testing.T) {
+	got, err := readRequests([]string{"10", "20,30", "40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 20, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReadRequestsRejectsGarbage(t *testing.T) {
+	if _, err := readRequests([]string{"10", "abc"}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadRequestsSkipsEmptyCommaFields(t *testing.T) {
+	got, err := readRequests([]string{"1,,2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}

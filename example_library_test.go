@@ -1,0 +1,48 @@
+package serpentine_test
+
+import (
+	"fmt"
+
+	"serpentine"
+)
+
+// ExampleNewLibrary serves two object reads from a one-cartridge
+// library with the paper's Auto scheduling policy.
+func ExampleNewLibrary() {
+	profile := serpentine.DLT4000()
+	tape, _ := serpentine.NewTape(profile, 77)
+
+	catalog := serpentine.NewCatalog()
+	catalog.Put(serpentine.Object{ID: "invoices-1996", Tape: 77, Start: 120_000, Segments: 64})
+	catalog.Put(serpentine.Object{ID: "invoices-1995", Tape: 77, Start: 450_000, Segments: 64})
+
+	lib, _ := serpentine.NewLibrary(serpentine.LibraryConfig{
+		Profile: profile,
+		Tapes:   []int64{tape.Serial()},
+	}, catalog)
+
+	done, metrics, _ := lib.Run([]serpentine.ObjectRequest{
+		{ObjectID: "invoices-1995"},
+		{ObjectID: "invoices-1996"},
+	})
+	fmt.Println(len(done), "objects served in", metrics.Batches, "batch")
+	// Output: 2 objects served in 1 batch
+}
+
+// ExampleProblem compares an unscheduled batch against the paper's
+// LOSS algorithm.
+func ExampleProblem() {
+	tape, _ := serpentine.NewTape(serpentine.DLT4000(), 1)
+	model, _ := serpentine.ExactModel(tape)
+	batch := serpentine.NewUniformWorkload(tape.Segments(), 4).Batch(32)
+	p := &serpentine.Problem{Start: 0, Requests: batch, Cost: model}
+
+	fifo, _ := serpentine.NewScheduler("FIFO")
+	loss, _ := serpentine.NewScheduler("LOSS")
+	f, _ := fifo.Schedule(p)
+	l, _ := loss.Schedule(p)
+
+	fmt.Println("LOSS at least halves the batch time:",
+		l.Estimate(p).Total() < 0.5*f.Estimate(p).Total())
+	// Output: LOSS at least halves the batch time: true
+}

@@ -1,0 +1,87 @@
+// Archive: sizing retrievals for a video/image archive on tape.
+//
+// The paper's Figure 7 insight: because a random locate on a DLT4000
+// costs ~72 s, a solitary retrieval must transfer 50-100 MB to keep
+// the drive usefully busy — but with scheduled batches, much smaller
+// objects already reach good utilization. This example plans an
+// archive: given an object size, how large must batches be to hit a
+// target drive utilization, and what throughput does that deliver?
+//
+//	go run ./examples/archive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"serpentine"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	tape, err := serpentine.NewTape(serpentine.DLT4000(), 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := serpentine.ExactModel(tape)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile := tape.Params()
+	rate := profile.TransferRateBytesPerSec()
+	sched, err := serpentine.NewScheduler("LOSS")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("DLT4000 sequential rate: %.2f MB/s; mean random locate: ~72 s\n\n", rate/1e6)
+	fmt.Println("drive utilization by batch size and object size (LOSS schedules):")
+	fmt.Printf("%12s", "object")
+	batchSizes := []int{1, 4, 10, 32, 96, 256}
+	for _, n := range batchSizes {
+		fmt.Printf("  batch %-4d", n)
+	}
+	fmt.Println()
+
+	gen := serpentine.NewUniformWorkload(tape.Segments(), 5)
+	for _, objMB := range []int{1, 5, 10, 25, 50, 100} {
+		segs := int(int64(objMB) * 1e6 / profile.SegmentBytes)
+		fmt.Printf("%9d MB", objMB)
+		for _, n := range batchSizes {
+			// Average a few batches for a stable estimate.
+			var locate, transfer float64
+			const trials = 5
+			for trial := 0; trial < trials; trial++ {
+				reqs := make([]int, n)
+				for i, r := range gen.Batch(n) {
+					// Keep multi-segment reads on-tape.
+					if r > tape.Segments()-segs {
+						r = tape.Segments() - segs
+					}
+					reqs[i] = r
+				}
+				p := &serpentine.Problem{
+					Start:    gen.Batch(1)[0],
+					Requests: reqs,
+					ReadLen:  segs,
+					Cost:     model,
+				}
+				plan, err := sched.Schedule(p)
+				if err != nil {
+					log.Fatal(err)
+				}
+				est := plan.Estimate(p)
+				locate += est.Locate
+				transfer += est.Read
+			}
+			fmt.Printf("      %4.0f%%", 100*transfer/(transfer+locate))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nreading the table: batching roughly doubles the utilization any")
+	fmt.Println("object size achieves alone — the utilization a solitary 50 MB")
+	fmt.Println("retrieval gets, a scheduled batch reaches with ~25 MB objects,")
+	fmt.Println("which is the paper's Figure 7 conclusion")
+}

@@ -1,0 +1,109 @@
+// Characterize: bring an unknown cartridge online the way a real
+// deployment must.
+//
+// The locate-time model is parameterized by the tape's key points,
+// and the paper's Figure 9 shows that borrowing another tape's key
+// points is disastrous (~15-20% schedule mis-estimation). So a new
+// cartridge is characterized once — its dips discovered by timing
+// locate operations — and the resulting table drives all future
+// scheduling. This example characterizes an emulated cartridge,
+// checks the discovered table against (normally unknowable) ground
+// truth, and compares schedules built from the discovered model, the
+// true model, and a wrong tape's model.
+//
+//	go run ./examples/characterize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"serpentine"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	tape, err := serpentine.NewTape(serpentine.DLT4000(), 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := serpentine.NewDrive(tape)
+
+	fmt.Printf("characterizing %s ...\n", tape)
+	cal, err := serpentine.Characterize(dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d locate operations, %.0f hours of (simulated) drive time,\n",
+		cal.Locates, cal.TapeSeconds/3600)
+	fmt.Printf("  %d boundaries interpolated (no timing signature)\n", cal.Interpolated)
+
+	// Compare against ground truth, which only the emulator can show.
+	truth := tape.KeyPoints()
+	worst, measured := 0, 0
+	for t := range truth.Bound {
+		for l := 2; l < len(truth.Bound[t]); l++ {
+			measured++
+			d := cal.KeyPoints.Bound[t][l] - truth.Bound[t][l]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	fmt.Printf("  %d measured boundaries, worst error %d segments\n\n", measured, worst)
+
+	// Build the three models.
+	discovered, err := serpentine.NewModel(cal.KeyPoints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := serpentine.ExactModel(tape)
+	if err != nil {
+		log.Fatal(err)
+	}
+	otherTape, err := serpentine.NewTape(serpentine.DLT4000(), 78)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrong, err := serpentine.ExactModel(otherTape)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Schedule one batch with each model and execute on the drive.
+	batch := serpentine.NewUniformWorkload(tape.Segments(), 21).Batch(96)
+	sched, err := serpentine.NewScheduler("LOSS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("executing a 96-request LOSS schedule built from each model:")
+	for _, m := range []struct {
+		name  string
+		model serpentine.Cost
+	}{
+		{"discovered key points", discovered},
+		{"true key points", exact},
+		{"WRONG tape's key points", wrong},
+	} {
+		p := &serpentine.Problem{Start: dev.Position(), Requests: batch, Cost: m.model}
+		plan, err := sched.Schedule(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est := plan.Estimate(p).Total()
+		measured, err := dev.ExecuteOrder(plan.Order, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-24s estimated %6.0f s, measured %6.0f s (error %+5.1f%%)\n",
+			m.name, est, measured, (est-measured)/measured*100)
+	}
+
+	fmt.Println("\ncharacterization pays for itself: the discovered model schedules and")
+	fmt.Println("estimates as well as ground truth, while a borrowed table misjudges")
+	fmt.Println("both the schedule and its cost")
+}

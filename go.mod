@@ -1,0 +1,3 @@
+module serpentine
+
+go 1.22

@@ -1,0 +1,369 @@
+// Package calibrate discovers the key points of a serpentine tape —
+// the per-track section boundaries that parameterize the locate-time
+// model — by timing locate operations against a drive, following the
+// approach of the paper's companion work [HS96]: "in essence, each
+// dip is found by measuring locate times from the preceding dip."
+//
+// The discovery walks the tape in LBN order. Within a track, the
+// locate time from a fixed co-directional source rises at read speed
+// as the destination advances through a section and drops abruptly
+// (by roughly the read/scan speed difference over one section, ~5 s)
+// when the destination crosses into the next section, because the
+// landing key point jumps forward one section. Each interior boundary
+// is therefore found by a binary search for that drop inside the
+// window where section-length jitter allows it to lie. Track ends are
+// found by scanning for the adjacent-segment locate that suddenly
+// costs several seconds instead of a few hundredths (the head must
+// switch tracks and reverse). The boundary between a track's first
+// and second sections produces no timing signature — destinations in
+// either section scan to the beginning of the track — so it is
+// interpolated under the uniform-density assumption; the resulting
+// error is bounded by the section-length jitter and shifts the
+// model's landing estimate by only milliseconds.
+//
+// Every timing probe takes the median of three measurements to shed
+// the drive's rare multi-second servo-retry outliers.
+package calibrate
+
+import (
+	"fmt"
+	"sort"
+
+	"serpentine/internal/drive"
+	"serpentine/internal/geometry"
+)
+
+// Result is a completed characterization.
+type Result struct {
+	// KeyPoints is the discovered table, ready to build a locate
+	// model from.
+	KeyPoints *geometry.KeyPointTable
+	// Locates is the number of locate operations spent measuring.
+	Locates int
+	// TapeSeconds is the drive busy time the characterization would
+	// have consumed on real hardware.
+	TapeSeconds float64
+	// Interpolated counts the boundaries that had to be estimated by
+	// interpolation rather than measured (one per track: the
+	// signature-free first interior boundary).
+	Interpolated int
+}
+
+// Options tune the discovery.
+type Options struct {
+	// Slack widens the search window around each boundary's nominal
+	// position, in segments. It must be at least the tape's
+	// section-count jitter; 0 selects SectionCountJitter + 4.
+	Slack int
+	// Repeats is the number of measurements per probe (median
+	// taken); 0 selects 3.
+	Repeats int
+}
+
+// Calibrate characterizes the cartridge loaded in d. The drive's
+// clock keeps running; callers wanting the pure characterization cost
+// should ResetClock first.
+func Calibrate(d *drive.Drive, opts Options) (*Result, error) {
+	p := d.Params()
+	if opts.Slack <= 0 {
+		opts.Slack = p.SectionCountJitter + 4
+	}
+	if opts.Repeats <= 0 {
+		opts.Repeats = 3
+	}
+	c := &calibrator{
+		d: d, p: p, opts: opts,
+		total:  d.Tape().Segments(),
+		starts: make([]int, 0, p.Tracks),
+	}
+
+	s := p.SectionsPerTrack
+	table := &geometry.KeyPointTable{
+		Params: p,
+		Bound:  make([][]int, p.Tracks),
+		Total:  c.total,
+	}
+	start := 0
+	for t := 0; t < p.Tracks; t++ {
+		c.starts = append(c.starts, start)
+		bound, err := c.track(t, start)
+		if err != nil {
+			return nil, fmt.Errorf("calibrate: track %d: %w", t, err)
+		}
+		table.Bound[t] = bound
+		start = bound[s]
+	}
+	if err := table.Validate(); err != nil {
+		return nil, fmt.Errorf("calibrate: discovered table invalid: %w", err)
+	}
+	return &Result{
+		KeyPoints:    table,
+		Locates:      c.locates,
+		TapeSeconds:  c.seconds,
+		Interpolated: c.interpolated,
+	}, nil
+}
+
+type calibrator struct {
+	d            *drive.Drive
+	p            geometry.Params
+	opts         Options
+	total        int
+	starts       []int // discovered first segments of tracks 0..t
+	locates      int
+	seconds      float64
+	interpolated int
+}
+
+// nominalCount returns the expected segment count of reading-order
+// section l of track t: the short section is the physically last one
+// (section 13 on the DLT4000), which is the FIRST section a reverse
+// track reads.
+func (c *calibrator) nominalCount(t, l int) int {
+	short := int(float64(c.p.SegmentsPerSection)*c.p.LastSectionFrac + 0.5)
+	s := c.p.SectionsPerTrack
+	if c.p.TrackDirection(t) == geometry.Forward {
+		if l == s-1 {
+			return short
+		}
+		return c.p.SegmentsPerSection
+	}
+	if l == 0 {
+		return short
+	}
+	return c.p.SegmentsPerSection
+}
+
+// measure returns the median locate time from src to dst over the
+// configured repeats.
+func (c *calibrator) measure(src, dst int) (float64, error) {
+	times := make([]float64, 0, c.opts.Repeats)
+	for i := 0; i < c.opts.Repeats; i++ {
+		t, err := c.d.Locate(src)
+		if err != nil {
+			return 0, err
+		}
+		c.seconds += t
+		t, err = c.d.Locate(dst)
+		if err != nil {
+			return 0, err
+		}
+		c.locates += 2
+		c.seconds += t
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+	return times[len(times)/2], nil
+}
+
+// track discovers the s+1 reading-order boundaries of track t, whose
+// first segment is start.
+func (c *calibrator) track(t, start int) ([]int, error) {
+	s := c.p.SectionsPerTrack
+	bound := make([]int, s+1)
+	bound[0] = start
+
+	// The probe source: the start of the co-directional track two
+	// back once one exists, otherwise this track's own start. From
+	// there every destination in sections >= 2 of track t is a
+	// case-2 locate whose landing point steps forward one section at
+	// each boundary, dropping the locate time by the read/scan rate
+	// difference over one section.
+	src := start
+	if t >= 2 {
+		src = c.starts[t-2]
+	}
+
+	// Interior boundaries by drop search. With a same-track source
+	// (tracks 0 and 1, before any co-directional track is known),
+	// destinations within the first two sections ahead of the source
+	// are plain forward reads with no landing maneuver, so the first
+	// boundary with a timing signature is b3; b2 is probed afterward
+	// from a discovered boundary ahead of it, where the backward
+	// landing step gives a much larger (~25 s) drop.
+	first := 2
+	if src == start {
+		first = 3
+	}
+	// Boundaries can arrive early by up to the track's bad-spot
+	// loss, but late only by the per-section count jitter, so the
+	// search windows are asymmetric.
+	early := c.p.BadSpotMaxLoss
+	prev, prevIdx := start, 0
+	for l := first; l <= s-1; l++ {
+		center := prev
+		for j := prevIdx; j < l; j++ {
+			center += c.nominalCount(t, j)
+		}
+		slack := c.opts.Slack * (l - prevIdx)
+		// Once a boundary three sections back is known, probe from
+		// it instead of the track-start source: the locates shrink
+		// from near-full-tape scans to a few sections, an order of
+		// magnitude less tape time ("each dip is found by measuring
+		// locate times from the preceding dip", [HS96]).
+		probeSrc := src
+		if l-3 >= first {
+			probeSrc = bound[l-3]
+		}
+		b, err := c.dropSearch(probeSrc, center-slack-early, center+slack)
+		if err != nil {
+			return nil, fmt.Errorf("boundary %d: %w", l, err)
+		}
+		bound[l] = b
+		prev, prevIdx = b, l
+	}
+	// Track end by a forward segment walk over the final section.
+	// The last track needs no probing: it ends at the tape capacity,
+	// which the host knows from having written the tape.
+	if t == c.p.Tracks-1 {
+		bound[s] = c.total
+	} else {
+		center := prev + c.nominalCount(t, s-1)
+		end, err := c.trackEndWalk(center-c.opts.Slack-early, center+c.opts.Slack)
+		if err != nil {
+			return nil, fmt.Errorf("track end: %w", err)
+		}
+		bound[s] = end
+	}
+
+	if first == 3 {
+		center := start + c.nominalCount(t, 0) + c.nominalCount(t, 1)
+		slack := 2 * c.opts.Slack
+		b, err := c.dropSearch(bound[5], center-slack-early, center+slack)
+		if err != nil {
+			return nil, fmt.Errorf("boundary 2 (backward probe): %w", err)
+		}
+		bound[2] = b
+	}
+
+	// Interpolate b1 within the first two sections in proportion to
+	// their nominal sizes (a reverse track's first reading-order
+	// section is the short physical section 13); destinations in
+	// either of the first two sections scan to the beginning of the
+	// track, so this boundary has no timing signature anywhere, and
+	// its residual error only shifts a landing-point estimate by
+	// milliseconds.
+	n0, n1 := c.nominalCount(t, 0), c.nominalCount(t, 1)
+	bound[1] = bound[0] + (bound[2]-bound[0])*n0/(n0+n1)
+	c.interpolated++
+	return bound, nil
+}
+
+// dropSearch binary-searches [lo, hi] for the single destination
+// segment at which the locate time from src drops abruptly (the
+// reading-order section boundary). lo must lie strictly before the
+// boundary and hi at or after it.
+//
+// Within either side of the boundary the locate time rises at read
+// speed per segment, so over a window widened for bad-spot losses the
+// raw values of the two sides overlap; the search therefore
+// references every measurement to the before-boundary line through
+// (lo, tLo): destinations before the boundary deviate by about zero,
+// destinations after by the negative section-boundary drop (at least
+// the ~5.5 s read/scan difference over one section).
+func (c *calibrator) dropSearch(src, lo, hi int) (int, error) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= c.total {
+		hi = c.total - 1
+	}
+	if lo >= hi {
+		return 0, fmt.Errorf("empty search window [%d,%d]", lo, hi)
+	}
+	// Read-speed slope per segment: recording density is one segment
+	// per 1/SegmentsPerSection of a section unit.
+	slope := c.p.ReadSecPerSection / float64(c.p.SegmentsPerSection)
+	tLo, err := c.measure(src, lo)
+	if err != nil {
+		return 0, err
+	}
+	anchor := lo // the binary search moves lo; the line must not
+	line := func(y int) float64 { return tLo + slope*float64(y-anchor) }
+	tHi, err := c.measure(src, hi)
+	if err != nil {
+		return 0, err
+	}
+	// The boundary drop size varies with the preceding section's
+	// physical length (bad spots can halve it) and with the
+	// profile's read/scan speed gap, so the decision threshold is
+	// half the drop actually observed across the window. A window
+	// with no credible drop (less than a third of the nominal
+	// one-section read/scan difference) is an error.
+	devHi := tHi - line(hi)
+	minDrop := 0.35 * (c.p.ReadSecPerSection - c.p.ScanSecPerSection)
+	if devHi > -minDrop {
+		return 0, fmt.Errorf("no drop across window [%d,%d]: %.2fs -> %.2fs (line %.2fs)",
+			lo, hi, tLo, tHi, line(hi))
+	}
+	threshold := devHi / 2
+	for hi-lo > 1 {
+		m := (lo + hi) / 2
+		tm, err := c.probe(src, m, line(m)+threshold)
+		if err != nil {
+			return 0, err
+		}
+		if tm-line(m) > threshold {
+			lo = m
+		} else {
+			hi = m
+		}
+	}
+	return hi, nil
+}
+
+// probe measures src -> dst once, and only falls back to the median
+// of three when the reading lands ambiguously close to the decision
+// threshold (a rare servo-retry outlier). This cuts characterization
+// tape time roughly in half versus always taking the median.
+func (c *calibrator) probe(src, dst int, decision float64) (float64, error) {
+	t, err := c.d.Locate(src)
+	if err != nil {
+		return 0, err
+	}
+	c.seconds += t
+	t, err = c.d.Locate(dst)
+	if err != nil {
+		return 0, err
+	}
+	c.locates += 2
+	c.seconds += t
+	if diff := t - decision; diff > -2 && diff < 2 {
+		return c.measure(src, dst)
+	}
+	return t, nil
+}
+
+// trackEndWalk finds the first segment of the next track: position
+// the head just before the window, then step forward one segment at a
+// time. Within a track each step is a sub-tenth-of-a-second forward
+// read; the step that crosses into the next (anti-directional) track
+// costs whole seconds of track switching and reversal. Walking
+// forward keeps every probe a cheap case-1 motion.
+func (c *calibrator) trackEndWalk(lo, hi int) (int, error) {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi >= c.total {
+		hi = c.total - 1
+	}
+	const crossingSec = 1.0
+	t, err := c.d.Locate(lo - 1)
+	if err != nil {
+		return 0, err
+	}
+	c.locates++
+	c.seconds += t
+	for y := lo; y <= hi; y++ {
+		t, err := c.d.Locate(y)
+		if err != nil {
+			return 0, err
+		}
+		c.locates++
+		c.seconds += t
+		if t > crossingSec {
+			return y, nil
+		}
+	}
+	return 0, fmt.Errorf("no track crossing in [%d,%d]", lo, hi)
+}

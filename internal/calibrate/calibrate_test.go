@@ -1,0 +1,173 @@
+package calibrate
+
+import (
+	"testing"
+
+	"serpentine/internal/drive"
+	"serpentine/internal/geometry"
+	"serpentine/internal/locate"
+	"serpentine/internal/rand48"
+)
+
+// Without measurement noise, every boundary with a timing signature
+// must be recovered exactly.
+func TestExactRecoveryWithoutNoise(t *testing.T) {
+	tape := geometry.MustGenerate(geometry.DLT4000(), 3)
+	d := drive.New(tape, drive.WithoutNoise())
+	res, err := Calibrate(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := tape.KeyPoints()
+	for tr := range truth.Bound {
+		for l := range truth.Bound[tr] {
+			if l == 1 {
+				continue // interpolated: no timing signature
+			}
+			if got, want := res.KeyPoints.Bound[tr][l], truth.Bound[tr][l]; got != want {
+				t.Fatalf("track %d boundary %d: found %d, want %d", tr, l, got, want)
+			}
+		}
+	}
+	if res.Interpolated != truth.Params.Tracks {
+		t.Fatalf("interpolated %d boundaries, want one per track", res.Interpolated)
+	}
+}
+
+// With realistic noise, recovery must stay within a few segments.
+func TestRecoveryWithNoise(t *testing.T) {
+	tape := geometry.MustGenerate(geometry.DLT4000(), 5)
+	d := drive.New(tape)
+	res, err := Calibrate(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := tape.KeyPoints()
+	off, big := 0, 0
+	for tr := range truth.Bound {
+		for l := 2; l < len(truth.Bound[tr]); l++ {
+			diff := res.KeyPoints.Bound[tr][l] - truth.Bound[tr][l]
+			if diff < 0 {
+				diff = -diff
+			}
+			// Boundaries in the drive's end zones can slip by a few
+			// tens of segments under noise (the paper's "less
+			// accurate near the physical track ends"); the model
+			// impact of 25 segments is ~0.3 s of scan time.
+			if diff > 25 {
+				t.Fatalf("track %d boundary %d off by %d segments", tr, l, diff)
+			}
+			if diff > 10 {
+				big++
+			}
+			if diff > 0 {
+				off++
+			}
+		}
+	}
+	if off > 25 || big > 5 {
+		t.Fatalf("%d boundaries off (%d by >10) under noise, want mostly exact of 832", off, big)
+	}
+}
+
+// The interpolated first boundary is bounded by the bad-spot loss a
+// section can hide.
+func TestInterpolatedBoundaryBounded(t *testing.T) {
+	tape := geometry.MustGenerate(geometry.DLT4000(), 3)
+	d := drive.New(tape, drive.WithoutNoise())
+	res, err := Calibrate(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := tape.KeyPoints()
+	p := tape.Params()
+	bound := p.BadSpotMaxLoss + 2*p.SectionCountJitter
+	for tr := range truth.Bound {
+		diff := res.KeyPoints.Bound[tr][1] - truth.Bound[tr][1]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > bound {
+			t.Fatalf("track %d: interpolated b1 off by %d, bound %d", tr, diff, bound)
+		}
+	}
+}
+
+// The discovered table must produce a model whose estimates agree
+// with a true-key-point model.
+func TestDiscoveredModelAgrees(t *testing.T) {
+	tape := geometry.MustGenerate(geometry.DLT4000(), 7)
+	d := drive.New(tape)
+	res, err := Calibrate(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	discovered, err := locate.FromKeyPoints(res.KeyPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := locate.FromKeyPoints(tape.KeyPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand48.New(6)
+	var worst float64
+	for i := 0; i < 500; i++ {
+		src := rng.Intn(tape.Segments())
+		dst := rng.Intn(tape.Segments())
+		diff := discovered.LocateTime(src, dst) - exact.LocateTime(src, dst)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > worst {
+			worst = diff
+		}
+	}
+	// The only discrepancies come from the interpolated b1 (shifts a
+	// landing estimate) and the rare noise-displaced boundary.
+	if worst > 6 {
+		t.Fatalf("worst model disagreement %.2f s", worst)
+	}
+}
+
+// Characterization accounting must be plausible: tens of thousands of
+// locates, a small number of simulated days, one interpolation per
+// track.
+func TestCalibrationCostAccounting(t *testing.T) {
+	tape := geometry.MustGenerate(geometry.DLT4000(), 2)
+	d := drive.New(tape)
+	res, err := Calibrate(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Locates < 10000 || res.Locates > 120000 {
+		t.Fatalf("locates = %d, implausible", res.Locates)
+	}
+	if res.TapeSeconds <= 0 || res.TapeSeconds > 3e6 {
+		t.Fatalf("tape seconds = %g, implausible", res.TapeSeconds)
+	}
+	// The drive's clock must account for at least the measured time.
+	if d.Clock() < res.TapeSeconds {
+		t.Fatalf("drive clock %g < measured %g", d.Clock(), res.TapeSeconds)
+	}
+}
+
+// Calibration also works on non-DLT geometries.
+func TestCalibrateOtherProfiles(t *testing.T) {
+	for _, p := range []geometry.Params{geometry.DLT7000(), geometry.IBM3590()} {
+		tape := geometry.MustGenerate(p, 4)
+		d := drive.New(tape, drive.WithoutNoise())
+		res, err := Calibrate(d, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		truth := tape.KeyPoints()
+		for tr := range truth.Bound {
+			for l := 2; l < len(truth.Bound[tr]); l++ {
+				if got, want := res.KeyPoints.Bound[tr][l], truth.Bound[tr][l]; got != want {
+					t.Fatalf("%s: track %d boundary %d: found %d, want %d", p.Name, tr, l, got, want)
+				}
+			}
+		}
+	}
+}

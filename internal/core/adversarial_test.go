@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"serpentine/internal/geometry"
+)
+
+// Degenerate request patterns every scheduler must survive with a
+// valid permutation and a sane cost.
+func TestAdversarialPatterns(t *testing.T) {
+	m := testModel(t, 1)
+	v := m.View()
+
+	patterns := map[string][]int{
+		"all identical":        {5000, 5000, 5000, 5000, 5000},
+		"consecutive run":      {9000, 9001, 9002, 9003, 9004, 9005, 9006, 9007},
+		"single section":       sectionFill(v.SectionStartLBN(20, 4), 12),
+		"section starts only":  sectionStarts(v, 40),
+		"two far clusters":     append(sectionFill(100, 6), sectionFill(600000, 6)...),
+		"reverse LBN order":    {500000, 400000, 300000, 200000, 100000},
+		"tape ends only":       {0, 1, m.Segments() - 2, m.Segments() - 1},
+		"around the start pos": {99998, 99999, 100001, 100002},
+	}
+	scheds := []Scheduler{
+		FIFO{}, Sort{}, NewSLTF(), NewSLTFCoalesced(DefaultCoalesceThreshold),
+		Scan{}, Weave{}, NewLOSS(), NewLOSSCoalesced(DefaultCoalesceThreshold),
+		NewSparseLOSS(), NewOPT(16), NewAuto(), Improved{Base: NewLOSS()},
+	}
+	for name, reqs := range patterns {
+		p := &Problem{Start: 100000, Requests: reqs, Cost: m}
+		for _, s := range scheds {
+			if o, ok := s.(OPT); ok && len(reqs) > o.Limit() {
+				continue
+			}
+			plan, err := s.Schedule(p)
+			if err != nil {
+				t.Fatalf("%s on %q: %v", s.Name(), name, err)
+			}
+			if err := CheckPermutation(reqs, plan.Order); err != nil {
+				t.Fatalf("%s on %q: %v", s.Name(), name, err)
+			}
+			if est := plan.Estimate(p); est.Total() < 0 || est.Total() > 20000 {
+				t.Fatalf("%s on %q: estimate %.0f s out of range", s.Name(), name, est.Total())
+			}
+		}
+	}
+}
+
+// sectionFill returns n consecutive segments starting at lbn.
+func sectionFill(lbn, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lbn + i*3
+	}
+	return out
+}
+
+// sectionStarts returns the first segments of n sections spread over
+// the tape.
+func sectionStarts(v *geometry.View, n int) []int {
+	out := make([]int, 0, n)
+	s := v.Params().SectionsPerTrack
+	for i := 0; len(out) < n; i++ {
+		tr := (i * 7) % v.Tracks()
+		out = append(out, v.SectionStartLBN(tr, i%s))
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sort"
+
+	"serpentine/internal/geometry"
+)
+
+// DefaultCoalesceThreshold is the paper's recommended coalescing
+// distance: 1410 segments, the size of two sections on the DLT4000.
+// "Experiments show that 1410 is a good choice for T, and that the
+// quality of the schedule is not highly sensitive to T."
+const DefaultCoalesceThreshold = 1410
+
+// A group is a run of requested segments that a scheduler treats as
+// one representative city: the drive locates to the first segment and
+// then consumes the rest by reading (mostly) forward. The internal
+// traversal cost of a group is incurred exactly once no matter where
+// the group lands in the schedule, so ordering decisions only need
+// the group's entry point (first segment) and exit point (after the
+// last segment).
+type group struct {
+	segs []int // ascending
+}
+
+func (g group) first() int { return g.segs[0] }
+func (g group) last() int  { return g.segs[len(g.segs)-1] }
+
+// coalesceByThreshold implements the paper's coalescing rule: sort
+// the requested segments; the first segment starts the first group;
+// each subsequent segment joins the current group when its distance
+// from the previous segment is below threshold, otherwise it starts a
+// new group. Groups are returned in ascending order of first segment.
+//
+// The paper's rule also refuses to coalesce the initial head position
+// I into a group; callers here keep the start position out of the
+// request list entirely, which has the same effect.
+func coalesceByThreshold(requests []int, threshold int) []group {
+	if len(requests) == 0 {
+		return nil
+	}
+	s := sortedCopy(requests)
+	groups := []group{{segs: []int{s[0]}}}
+	for _, seg := range s[1:] {
+		cur := &groups[len(groups)-1]
+		if seg-cur.last() < threshold {
+			cur.segs = append(cur.segs, seg)
+		} else {
+			groups = append(groups, group{segs: []int{seg}})
+		}
+	}
+	return groups
+}
+
+// coalesceBySection buckets requests into one group per non-empty
+// (track, logical section) cell, each sorted ascending. This is the
+// milder grouping SLTF's complexity argument relies on: within one
+// section, reading ahead in segment order is always the nearest move,
+// so a section's requests are always consumed together.
+func coalesceBySection(view *geometry.View, requests []int) []group {
+	buckets := make(map[int][]int)
+	for _, r := range requests {
+		idx := view.SectionIndex(r)
+		buckets[idx] = append(buckets[idx], r)
+	}
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	groups := make([]group, 0, len(keys))
+	for _, k := range keys {
+		segs := buckets[k]
+		sort.Ints(segs)
+		groups = append(groups, group{segs: segs})
+	}
+	return groups
+}
+
+// expandGroups flattens an ordering of groups back into a segment
+// schedule.
+func expandGroups(order []group, n int) []int {
+	out := make([]int, 0, n)
+	for _, g := range order {
+		out = append(out, g.segs...)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"serpentine/internal/rand48"
+)
+
+// Property: threshold coalescing implements the paper's rule exactly:
+// within a group consecutive segments are closer than T; consecutive
+// groups are separated by at least T; expanding the groups in order
+// yields the sorted request list.
+func TestCoalesceByThresholdProperties(t *testing.T) {
+	f := func(raw []uint16, rawT uint8) bool {
+		if len(raw) == 0 {
+			return coalesceByThreshold(nil, 10) == nil
+		}
+		threshold := int(rawT)%500 + 1
+		reqs := make([]int, len(raw))
+		for i, v := range raw {
+			reqs[i] = int(v)
+		}
+		groups := coalesceByThreshold(reqs, threshold)
+
+		var flat []int
+		for gi, g := range groups {
+			for i := 1; i < len(g.segs); i++ {
+				if g.segs[i]-g.segs[i-1] >= threshold {
+					return false // gap inside a group
+				}
+			}
+			if gi > 0 && g.first()-groups[gi-1].last() < threshold {
+				return false // groups should have been merged
+			}
+			flat = append(flat, g.segs...)
+		}
+		want := sortedCopy(reqs)
+		if len(flat) != len(want) {
+			return false
+		}
+		for i := range flat {
+			if flat[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalesceKnownCase(t *testing.T) {
+	groups := coalesceByThreshold([]int{10, 12, 500, 505, 2000}, 100)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	if groups[0].first() != 10 || groups[0].last() != 12 ||
+		groups[1].first() != 500 || groups[1].last() != 505 ||
+		groups[2].first() != 2000 {
+		t.Fatalf("bad groups: %+v", groups)
+	}
+}
+
+func TestCoalesceBySectionGroupsMatchGeometry(t *testing.T) {
+	m := testModel(t, 1)
+	v := m.View()
+	rng := rand48.New(5)
+	reqs := make([]int, 300)
+	for i := range reqs {
+		reqs[i] = rng.Intn(m.Segments())
+	}
+	groups := coalesceBySection(v, reqs)
+	total := 0
+	for _, g := range groups {
+		total += len(g.segs)
+		if !sort.IntsAreSorted(g.segs) {
+			t.Fatal("group not sorted")
+		}
+		idx := v.SectionIndex(g.segs[0])
+		for _, s := range g.segs {
+			if v.SectionIndex(s) != idx {
+				t.Fatal("group spans sections")
+			}
+		}
+	}
+	if total != len(reqs) {
+		t.Fatalf("groups cover %d of %d requests", total, len(reqs))
+	}
+	// Deterministic ordering.
+	again := coalesceBySection(v, reqs)
+	for i := range groups {
+		if groups[i].first() != again[i].first() {
+			t.Fatal("section coalescing not deterministic")
+		}
+	}
+}
+
+func TestSplitAtStart(t *testing.T) {
+	groups := []group{{segs: []int{10, 20, 30, 40}}}
+	out := splitAtStart(groups, 25)
+	if len(out) != 2 {
+		t.Fatalf("want 2 groups, got %+v", out)
+	}
+	if out[0].last() != 20 || out[1].first() != 30 {
+		t.Fatalf("bad split: %+v", out)
+	}
+	// Start outside the group: untouched.
+	if got := splitAtStart(groups, 5); len(got) != 1 {
+		t.Fatalf("split below: %+v", got)
+	}
+	if got := splitAtStart(groups, 50); len(got) != 1 {
+		t.Fatalf("split above: %+v", got)
+	}
+	// Start exactly on a member: that member goes to the second part.
+	on := splitAtStart([]group{{segs: []int{10, 20, 30}}}, 20)
+	if len(on) != 2 || on[0].last() != 10 || on[1].first() != 20 {
+		t.Fatalf("split on member: %+v", on)
+	}
+}
+
+func TestExpandGroups(t *testing.T) {
+	out := expandGroups([]group{{segs: []int{5, 6}}, {segs: []int{1}}}, 3)
+	want := []int{5, 6, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("expand = %v", out)
+		}
+	}
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LOSS is the paper's recommended algorithm for batches larger than
+// OPT can handle: the greedy edge-selection heuristic for the
+// asymmetric traveling salesman path from Lawler, Lenstra, Rinnooy
+// Kan & Shmoys [LLKS85]. Where SLTF greedily extends one path from
+// the head position — oblivious to the long edges its choices force
+// later — LOSS repeatedly commits the edge at the city whose "lost
+// opportunity" would be largest if skipped: the city with the
+// greatest difference between its shortest and second-shortest
+// remaining edge (on either the incoming or outgoing side). Choosing
+// that city's short edge avoids ever being forced onto its much
+// longer alternative.
+//
+// The time complexity is quadratic in the number of cities; the
+// paper notes that coalescing nearby segments into a single
+// representative (NewLOSSCoalesced) shrinks the problem
+// significantly. On the DLT4000, LOSS delivers 124 random I/Os per
+// hour at batch size 96 and 285 per hour at 1024, versus 50 per hour
+// unscheduled.
+type LOSS struct {
+	threshold int
+}
+
+// NewLOSS returns the plain LOSS scheduler evaluated in the paper's
+// figures (every request is its own city).
+func NewLOSS() LOSS { return LOSS{} }
+
+// NewLOSSCoalesced returns LOSS with distance-based coalescing; the
+// paper recommends DefaultCoalesceThreshold.
+func NewLOSSCoalesced(threshold int) LOSS { return LOSS{threshold: threshold} }
+
+// Name returns "LOSS" or "LOSS-C".
+func (l LOSS) Name() string {
+	if l.threshold > 0 {
+		return "LOSS-C"
+	}
+	return "LOSS"
+}
+
+// maxLOSSCities bounds the dense cost matrix ((k+1)^2 float64s).
+const maxLOSSCities = 8192
+
+// Schedule runs the greedy loss selection over the request groups.
+func (l LOSS) Schedule(p *Problem) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if len(p.Requests) == 0 {
+		return Plan{}, nil
+	}
+	var groups []group
+	if l.threshold > 0 {
+		groups = splitAtStart(coalesceByThreshold(p.Requests, l.threshold), p.Start)
+	} else {
+		groups = make([]group, len(p.Requests))
+		for i, r := range p.Requests {
+			groups[i] = group{segs: []int{r}}
+		}
+	}
+	if len(groups)+1 > maxLOSSCities {
+		return Plan{}, fmt.Errorf("core: LOSS instance has %d cities (max %d); use coalescing", len(groups)+1, maxLOSSCities)
+	}
+	order, err := lossPath(p, groups)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{Order: expandGroups(order, len(p.Requests))}, nil
+}
+
+// lossState carries the incremental machinery of one greedy loss run.
+// Cities are numbered 0..n-1: city 0 is the initial head position
+// (outgoing side only), the rest are retrieval units. The candidate
+// lists may be complete (dense LOSS) or restricted (SparseLOSS).
+type lossState struct {
+	n      int // city count including city 0
+	weight func(i, j int32) float64
+	next   []int32 // chosen successor per city, -1 if none
+
+	availOut []bool
+	availIn  []bool
+
+	// Candidate lists sorted ascending by weight, with monotone skip
+	// pointers: a candidate once invalid never becomes valid again
+	// (availability only decreases and path fragments only merge),
+	// so the pointers never move backward.
+	sortedOut [][]int32
+	sortedIn  [][]int32
+	ptrOut    []int
+	ptrIn     []int
+
+	// Path fragments, union-find with tail tracking.
+	parent []int32
+	tail   []int32
+}
+
+// newLossState initializes the shared machinery. weight(i, j) is the
+// cost of traveling from city i to city j.
+func newLossState(n int, weight func(i, j int32) float64) *lossState {
+	s := &lossState{
+		n:         n,
+		weight:    weight,
+		next:      make([]int32, n),
+		availOut:  make([]bool, n),
+		availIn:   make([]bool, n),
+		sortedOut: make([][]int32, n),
+		sortedIn:  make([][]int32, n),
+		ptrOut:    make([]int, n),
+		ptrIn:     make([]int, n),
+		parent:    make([]int32, n),
+		tail:      make([]int32, n),
+	}
+	for c := int32(0); c < int32(n); c++ {
+		s.next[c] = -1
+		s.availOut[c] = true
+		s.availIn[c] = c != 0 // city 0 never receives an in-edge
+		s.parent[c] = c
+		s.tail[c] = c
+	}
+	return s
+}
+
+// denseCandidates fills complete candidate lists: every city pair is
+// an edge, as in the paper's primary LOSS formulation.
+func (s *lossState) denseCandidates() {
+	n := s.n
+	for i := 0; i < n; i++ {
+		out := make([]int32, 0, n-1)
+		for j := 1; j < n; j++ {
+			if j != i {
+				out = append(out, int32(j))
+			}
+		}
+		ii := int32(i)
+		sort.Slice(out, func(a, b int) bool { return s.weight(ii, out[a]) < s.weight(ii, out[b]) })
+		s.sortedOut[i] = out
+	}
+	for j := 1; j < n; j++ {
+		in := make([]int32, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != j {
+				in = append(in, int32(i))
+			}
+		}
+		jj := int32(j)
+		sort.Slice(in, func(a, b int) bool { return s.weight(in[a], jj) < s.weight(in[b], jj) })
+		s.sortedIn[j] = in
+	}
+}
+
+// sparseCandidates installs restricted out-edge lists and derives the
+// in-edge lists by transposition.
+func (s *lossState) sparseCandidates(out [][]int32) {
+	n := s.n
+	in := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		lst := out[i]
+		ii := int32(i)
+		sort.Slice(lst, func(a, b int) bool { return s.weight(ii, lst[a]) < s.weight(ii, lst[b]) })
+		s.sortedOut[i] = lst
+		for _, j := range lst {
+			in[j] = append(in[j], ii)
+		}
+	}
+	for j := 1; j < n; j++ {
+		lst := in[j]
+		jj := int32(j)
+		sort.Slice(lst, func(a, b int) bool { return s.weight(lst[a], jj) < s.weight(lst[b], jj) })
+		s.sortedIn[j] = lst
+	}
+}
+
+func (s *lossState) find(x int32) int32 {
+	for s.parent[x] != x {
+		s.parent[x] = s.parent[s.parent[x]]
+		x = s.parent[x]
+	}
+	return x
+}
+
+// validOut reports whether j is still a legal successor for i.
+func (s *lossState) validOut(i, j int32) bool {
+	return s.availIn[j] && s.find(i) != s.find(j)
+}
+
+// validIn reports whether i is still a legal predecessor for j.
+func (s *lossState) validIn(j, i int32) bool {
+	return s.availOut[i] && s.find(i) != s.find(j)
+}
+
+// bestOut returns the two cheapest remaining successors of i,
+// advancing the skip pointer past permanently invalid entries. The
+// second value is math.Inf(1) when only one candidate remains; found
+// is false when none remain.
+func (s *lossState) bestOut(i int32) (j1 int32, v1, v2 float64, found bool) {
+	lst := s.sortedOut[i]
+	p := s.ptrOut[i]
+	for p < len(lst) && !s.validOut(i, lst[p]) {
+		p++
+	}
+	s.ptrOut[i] = p
+	if p == len(lst) {
+		return 0, 0, 0, false
+	}
+	j1 = lst[p]
+	v1 = s.weight(i, j1)
+	v2 = math.Inf(1)
+	for q := p + 1; q < len(lst); q++ {
+		if s.validOut(i, lst[q]) {
+			v2 = s.weight(i, lst[q])
+			break
+		}
+	}
+	return j1, v1, v2, true
+}
+
+// bestIn mirrors bestOut for the incoming side of j.
+func (s *lossState) bestIn(j int32) (i1 int32, v1, v2 float64, found bool) {
+	lst := s.sortedIn[j]
+	p := s.ptrIn[j]
+	for p < len(lst) && !s.validIn(j, lst[p]) {
+		p++
+	}
+	s.ptrIn[j] = p
+	if p == len(lst) {
+		return 0, 0, 0, false
+	}
+	i1 = lst[p]
+	v1 = s.weight(i1, j)
+	v2 = math.Inf(1)
+	for q := p + 1; q < len(lst); q++ {
+		if s.validIn(j, lst[q]) {
+			v2 = s.weight(lst[q], j)
+			break
+		}
+	}
+	return i1, v1, v2, true
+}
+
+// takeEdge commits edge a->b.
+func (s *lossState) takeEdge(a, b int32) {
+	s.next[a] = b
+	s.availOut[a] = false
+	s.availIn[b] = false
+	ra, rb := s.find(a), s.find(b)
+	// Merge fragment rb into ra: the joined path now ends at rb's
+	// tail.
+	s.parent[rb] = ra
+	s.tail[ra] = s.tail[rb]
+}
+
+// run performs greedy loss selection until maxEdges edges have been
+// committed or no legal candidate edge remains, and returns the
+// number of edges chosen. Each iteration commits the cheapest edge at
+// the city whose loss — the gap between its cheapest and
+// second-cheapest remaining edge on either side — is maximal.
+//
+// Side urgency differs between the two sides because the tour is a
+// free-end path, not a cycle: every city except the start must
+// receive exactly one in-edge, so an in-side down to a single
+// candidate is a forced move with infinite loss; but exactly one city
+// ends the path with no out-edge at all, so an out-side down to its
+// last candidate is not forced — its loss is zero (skipping it just
+// nominates the city for the tail position).
+func (s *lossState) run(maxEdges int) int {
+	chosen := 0
+	for chosen < maxEdges {
+		bestLoss := math.Inf(-1)
+		var selA, selB int32 = -1, -1
+		for c := int32(0); c < int32(s.n); c++ {
+			if s.availOut[c] {
+				if j, v1, v2, ok := s.bestOut(c); ok {
+					loss := v2 - v1
+					if math.IsInf(v2, 1) {
+						loss = 0
+					}
+					if loss > bestLoss {
+						bestLoss, selA, selB = loss, c, j
+					}
+				}
+			}
+			if s.availIn[c] {
+				if i, v1, v2, ok := s.bestIn(c); ok {
+					if loss := v2 - v1; loss > bestLoss {
+						bestLoss, selA, selB = loss, i, c
+					}
+				}
+			}
+		}
+		if selA < 0 {
+			break
+		}
+		s.takeEdge(selA, selB)
+		chosen++
+	}
+	return chosen
+}
+
+// fragments extracts the directed partial paths of the current state,
+// each as the list of its cities in path order. The fragment
+// containing city 0 comes first.
+func (s *lossState) fragments() [][]int32 {
+	isHead := make([]bool, s.n)
+	for c := range isHead {
+		isHead[c] = true
+	}
+	for _, nx := range s.next {
+		if nx >= 0 {
+			isHead[nx] = false
+		}
+	}
+	var frags [][]int32
+	for c := int32(0); c < int32(s.n); c++ {
+		if !isHead[c] {
+			continue
+		}
+		var f []int32
+		for x := c; x >= 0; x = s.next[x] {
+			f = append(f, x)
+		}
+		if c == 0 {
+			frags = append([][]int32{f}, frags...)
+		} else {
+			frags = append(frags, f)
+		}
+	}
+	return frags
+}
+
+// lossPath builds the retrieval order of groups with the dense
+// (complete-digraph) LOSS algorithm.
+func lossPath(p *Problem, groups []group) ([]group, error) {
+	k := len(groups)
+	if k == 1 {
+		return groups, nil
+	}
+	n := k + 1
+	// Dense weight matrix: w[i*n+j] = locate(out_i, in_j). The out
+	// point of city 0 is the head start; the out point of a group
+	// city is the head position after reading its last segment; the
+	// in point is its first segment. Read times are order-independent
+	// and excluded.
+	w := make([]float64, n*n)
+	outPos := make([]int, n)
+	inPos := make([]int, n)
+	outPos[0] = p.Start
+	for c := 1; c < n; c++ {
+		g := groups[c-1]
+		outPos[c] = p.headAfter(g.last())
+		inPos[c] = g.first()
+	}
+	for i := 0; i < n; i++ {
+		for j := 1; j < n; j++ {
+			if i == j {
+				continue
+			}
+			w[i*n+j] = p.Cost.LocateTime(outPos[i], inPos[j])
+		}
+	}
+	s := newLossState(n, func(i, j int32) float64 { return w[int(i)*n+int(j)] })
+	s.denseCandidates()
+	if got := s.run(k); got != k {
+		return nil, fmt.Errorf("core: LOSS stuck with %d/%d edges chosen", got, k)
+	}
+	order := make([]group, 0, k)
+	for c := s.next[0]; c >= 0; c = s.next[c] {
+		order = append(order, groups[c-1])
+	}
+	if len(order) != k {
+		return nil, fmt.Errorf("core: LOSS produced a broken path (%d of %d cities)", len(order), k)
+	}
+	return order, nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// OPT computes a provably minimal schedule. The paper models the
+// problem as an asymmetric traveling salesman path with a fixed
+// start and free end (Section 4) and solves it by exhaustive
+// permutation search, which limits it to about 12 requests (936 CPU
+// seconds on the paper's SparcStation). This implementation uses the
+// Held-Karp dynamic program instead — O(2^n * n^2) time, O(2^n * n)
+// space — which finds the identical optimum (cross-checked against
+// permutation search in tests) while extending the practical range to
+// n ~ 20. The paper's recommendation stands: use OPT for small
+// batches (up to ~10), LOSS beyond.
+type OPT struct {
+	limit int
+}
+
+// ErrTooLarge is returned (wrapped) when a problem exceeds an OPT
+// scheduler's request limit.
+var ErrTooLarge = fmt.Errorf("core: problem too large for OPT")
+
+// NewOPT returns an exact scheduler that accepts up to limit
+// requests; limit is capped at 24 to bound the 2^n memory.
+func NewOPT(limit int) OPT {
+	if limit > 24 {
+		limit = 24
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return OPT{limit: limit}
+}
+
+// Name returns "OPT".
+func (OPT) Name() string { return "OPT" }
+
+// Limit returns the maximum accepted request count.
+func (o OPT) Limit() int { return o.limit }
+
+// Schedule solves the instance exactly.
+func (o OPT) Schedule(p *Problem) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	n := len(p.Requests)
+	if n > o.limit {
+		return Plan{}, fmt.Errorf("%w: %d requests exceeds limit %d", ErrTooLarge, n, o.limit)
+	}
+	if n == 0 {
+		return Plan{}, nil
+	}
+
+	// Edge weights. Read times are order-independent and excluded.
+	start := make([]float64, n) // start[j]: head start -> request j
+	w := make([][]float64, n)   // w[i][j]: after reading i -> request j
+	for i, ri := range p.Requests {
+		start[i] = p.Cost.LocateTime(p.Start, ri)
+		w[i] = make([]float64, n)
+		out := p.headAfter(ri)
+		for j, rj := range p.Requests {
+			if i == j {
+				continue
+			}
+			w[i][j] = p.Cost.LocateTime(out, rj)
+		}
+	}
+
+	// Held-Karp over subsets: dp[mask][j] is the minimal locate time
+	// of a path that starts at the head position, visits exactly the
+	// requests in mask, and ends having just read request j.
+	size := 1 << n
+	dp := make([]float64, size*n)
+	parent := make([]int8, size*n)
+	for i := range dp {
+		dp[i] = math.Inf(1)
+	}
+	for j := 0; j < n; j++ {
+		dp[(1<<j)*n+j] = start[j]
+		parent[(1<<j)*n+j] = -1
+	}
+	for mask := 1; mask < size; mask++ {
+		base := mask * n
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			cur := dp[base+j]
+			if math.IsInf(cur, 1) {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if mask&(1<<k) != 0 {
+					continue
+				}
+				next := (mask | 1<<k) * n
+				if c := cur + w[j][k]; c < dp[next+k] {
+					dp[next+k] = c
+					parent[next+k] = int8(j)
+				}
+			}
+		}
+	}
+
+	// The end city is unconstrained: take the best final request.
+	full := size - 1
+	bestJ, bestC := 0, math.Inf(1)
+	for j := 0; j < n; j++ {
+		if c := dp[full*n+j]; c < bestC {
+			bestJ, bestC = j, c
+		}
+	}
+
+	order := make([]int, n)
+	mask, j := full, bestJ
+	for i := n - 1; i >= 0; i-- {
+		order[i] = p.Requests[j]
+		pj := parent[mask*n+j]
+		mask &^= 1 << j
+		if pj < 0 {
+			break
+		}
+		j = int(pj)
+	}
+	return Plan{Order: order}, nil
+}
+
+// bruteForce finds the optimum by trying every permutation, exactly
+// as the paper's OPT implementation did. It exists to cross-check
+// Held-Karp in tests and to reproduce the paper's Figure 6 CPU-cost
+// curve for OPT.
+func bruteForce(p *Problem) (Plan, float64) {
+	n := len(p.Requests)
+	order := make([]int, n)
+	copy(order, p.Requests)
+	best := make([]int, n)
+	copy(best, order)
+	bestCost := math.Inf(1)
+
+	var permute func(k int)
+	permute = func(k int) {
+		if k == n {
+			if c := estimateSized(p, order).Locate; c < bestCost {
+				bestCost = c
+				copy(best, order)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			order[k], order[i] = order[i], order[k]
+			permute(k + 1)
+			order[k], order[i] = order[i], order[k]
+		}
+	}
+	permute(0)
+	return Plan{Order: best}, bestCost
+}

@@ -1,0 +1,122 @@
+package core
+
+// Improved wraps any scheduler with an or-opt local improvement pass,
+// an extension beyond the paper (which lists evaluating stronger TSP
+// heuristics as future work). Or-opt relocates runs of one to three
+// consecutive schedule entries to a better position; unlike classic
+// 2-opt it never reverses a subpath, which matters on an asymmetric
+// cost function where reversal would change every interior edge.
+type Improved struct {
+	// Base produces the schedule to improve.
+	Base Scheduler
+	// MaxPasses bounds the improvement sweeps; 4 when zero.
+	MaxPasses int
+}
+
+// Name returns the base name with a "+OROPT" suffix.
+func (im Improved) Name() string { return im.Base.Name() + "+OROPT" }
+
+// Schedule runs the base scheduler and then improves its plan.
+func (im Improved) Schedule(p *Problem) (Plan, error) {
+	plan, err := im.Base.Schedule(p)
+	if err != nil || plan.WholeTape || len(plan.Order) < 3 {
+		return plan, err
+	}
+	passes := im.MaxPasses
+	if passes <= 0 {
+		passes = 4
+	}
+	order := plan.Order
+	for pass := 0; pass < passes; pass++ {
+		if !orOptPass(p, order) {
+			break
+		}
+	}
+	return Plan{Order: order}, nil
+}
+
+// orOptPass sweeps every run of 1..3 consecutive entries over every
+// insertion point, applying improving moves until a full sweep finds
+// none (with a move budget as a safety bound). It reports whether any
+// move was applied. order is modified in place.
+func orOptPass(p *Problem, order []int) bool {
+	n := len(order)
+	headBefore := func(i int) int {
+		if i == 0 {
+			return p.Start
+		}
+		return p.headAfter(order[i-1])
+	}
+	lt := p.Cost.LocateTime
+	improved := false
+	budget := 4 * n
+	for changed := true; changed && budget > 0; {
+		changed = false
+	sweep:
+		for runLen := 1; runLen <= 3 && runLen < n; runLen++ {
+			for i := 0; i+runLen <= n; i++ {
+				j := i + runLen // run is order[i:j]
+				// Cost removed by excising the run: the edge into
+				// the run and the edge out of it, minus the new edge
+				// joining the neighbors. Excision only affects these
+				// edges: each locate depends only on the previous
+				// request and the current one.
+				var after float64
+				if j < n {
+					after = lt(p.headAfter(order[j-1]), order[j])
+				}
+				removed := lt(headBefore(i), order[i]) + after
+				var joined float64
+				if j < n {
+					joined = lt(headBefore(i), order[j])
+				}
+				gainBase := removed - joined
+				if gainBase <= 1e-9 {
+					continue
+				}
+				for k := 0; k <= n; k++ {
+					if k >= i && k <= j {
+						continue
+					}
+					// Insertion before original index k; order[k-1]
+					// and order[k] are outside the excised run, so
+					// their positions are unaffected.
+					var prevHead int
+					if k == 0 {
+						prevHead = p.Start
+					} else {
+						prevHead = p.headAfter(order[k-1])
+					}
+					addIn := lt(prevHead, order[i])
+					var addOut, oldEdge float64
+					if k < n {
+						addOut = lt(p.headAfter(order[j-1]), order[k])
+						oldEdge = lt(prevHead, order[k])
+					}
+					if gain := gainBase - (addIn + addOut - oldEdge); gain > 1e-9 {
+						relocate(order, i, j, k)
+						improved = true
+						changed = true
+						budget--
+						break sweep
+					}
+				}
+			}
+		}
+	}
+	return improved
+}
+
+// relocate moves order[i:j] so that it begins at original index k
+// (k < i or k > j), shifting the remainder.
+func relocate(order []int, i, j, k int) {
+	run := make([]int, j-i)
+	copy(run, order[i:j])
+	if k > j {
+		copy(order[i:], order[j:k])
+		copy(order[i+(k-j):], run)
+	} else { // k < i
+		copy(order[k+len(run):], order[k:i])
+		copy(order[k:], run)
+	}
+}

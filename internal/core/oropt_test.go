@@ -1,0 +1,93 @@
+package core
+
+import "testing"
+
+// The improver must never make a schedule worse and must usually make
+// greedy schedules better.
+func TestOrOptNeverWorse(t *testing.T) {
+	m := testModel(t, 1)
+	improvedSum, baseSum := 0.0, 0.0
+	for seed := int64(0); seed < 10; seed++ {
+		p := randomProblem(t, m, 48, seed*3+1)
+		base, err := NewSLTF().Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imp, err := Improved{Base: NewSLTF()}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckPermutation(p.Requests, imp.Order); err != nil {
+			t.Fatal(err)
+		}
+		b := base.Estimate(p).Total()
+		i := imp.Estimate(p).Total()
+		if i > b+1e-6 {
+			t.Fatalf("seed %d: or-opt made it worse: %.2f -> %.2f", seed, b, i)
+		}
+		baseSum += b
+		improvedSum += i
+	}
+	if improvedSum >= baseSum {
+		t.Fatalf("or-opt never improved anything over 10 seeds (%.0f vs %.0f)", improvedSum, baseSum)
+	}
+}
+
+// Improving OPT's output must be a no-op: there is nothing to gain.
+func TestOrOptCannotImproveOPT(t *testing.T) {
+	m := testModel(t, 1)
+	for seed := int64(0); seed < 6; seed++ {
+		p := randomProblem(t, m, 7, seed+50)
+		opt, err := NewOPT(10).Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imp, err := Improved{Base: NewOPT(10)}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := opt.Estimate(p).Total()
+		i := imp.Estimate(p).Total()
+		if i < o-1e-6 {
+			t.Fatalf("seed %d: or-opt 'improved' the optimum: %.4f -> %.4f", seed, o, i)
+		}
+	}
+}
+
+func TestRelocate(t *testing.T) {
+	// Move [2,3) to position 0: 0 1 2 3 -> 2 0 1 3.
+	order := []int{0, 1, 2, 3}
+	relocate(order, 2, 3, 0)
+	want := []int{2, 0, 1, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("relocate backward: %v", order)
+		}
+	}
+	// Move [0,2) to position 4 (end): 2 0 1 3 -> 1 3 2 0.
+	relocate(order, 0, 2, 4)
+	want = []int{1, 3, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("relocate forward: %v", order)
+		}
+	}
+}
+
+func TestImprovedPassesThroughWholeTape(t *testing.T) {
+	m := testModel(t, 1)
+	p := randomProblem(t, m, 5, 1)
+	plan, err := Improved{Base: Read{}}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.WholeTape {
+		t.Fatal("whole-tape plans must pass through untouched")
+	}
+}
+
+func TestImprovedName(t *testing.T) {
+	if (Improved{Base: NewSLTF()}).Name() != "SLTF+OROPT" {
+		t.Fatal("name wrong")
+	}
+}

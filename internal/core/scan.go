@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sort"
+
+	"serpentine/internal/geometry"
+)
+
+// Scan is the paper's SCAN (elevator) algorithm for serpentine tape
+// (Figure 2). The head shuttles up the physical length of the tape
+// reading requested sections from forward tracks, then back down
+// reading requested sections from reverse tracks, repeating until
+// every request is scheduled.
+//
+// On each sweep, at most one track's requests are read per physical
+// section position (the head can only be on one track at a time and
+// never moves against the sweep); when several tracks hold requests
+// at the same section position, the lowest-numbered track is served
+// and the others wait for a later sweep. Unlike SORT, the resulting
+// schedule switches tracks often but makes few passes over the length
+// of the tape. Time complexity is linear in the number of sections
+// containing requests.
+type Scan struct{}
+
+// Name returns "SCAN".
+func (Scan) Name() string { return "SCAN" }
+
+// Schedule implements the Figure 2 pseudocode.
+func (Scan) Schedule(p *Problem) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if len(p.Requests) == 0 {
+		return Plan{}, nil
+	}
+	view := p.Cost.View()
+	params := view.Params()
+	s := params.SectionsPerTrack
+
+	// request(T,X): requests in track T, physical section X, sorted
+	// by increasing segment number.
+	type cell struct{ track, section int }
+	buckets := make(map[cell][]int)
+	for _, r := range p.Requests {
+		pl := view.Place(r)
+		c := cell{pl.Track, pl.PhysSection}
+		buckets[c] = append(buckets[c], r)
+	}
+	for _, segs := range buckets {
+		sort.Ints(segs)
+	}
+
+	// pick serves the lowest-numbered track of the given direction
+	// parity holding requests at physical section x, if any.
+	pick := func(x int, forward bool) ([]int, bool) {
+		bestTrack := -1
+		for t := 0; t < params.Tracks; t++ {
+			if (params.TrackDirection(t) == geometry.Forward) != forward {
+				continue
+			}
+			if _, ok := buckets[cell{t, x}]; ok {
+				bestTrack = t
+				break
+			}
+		}
+		if bestTrack < 0 {
+			return nil, false
+		}
+		c := cell{bestTrack, x}
+		segs := buckets[c]
+		delete(buckets, c)
+		return segs, true
+	}
+
+	order := make([]int, 0, len(p.Requests))
+	for len(buckets) > 0 {
+		for x := 0; x < s; x++ {
+			if segs, ok := pick(x, true); ok {
+				order = append(order, segs...)
+			}
+		}
+		for x := s - 1; x >= 0; x-- {
+			if segs, ok := pick(x, false); ok {
+				order = append(order, segs...)
+			}
+		}
+	}
+	return Plan{Order: order}, nil
+}

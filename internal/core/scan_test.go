@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"serpentine/internal/geometry"
+)
+
+// The paper's worked example for SCAN: "given 3 requests having
+// (track, section) coordinates (16,2), (17,12), and (18,3), ... the
+// SCAN schedule is (16,2), (18,3), (17,12), which traverses the
+// length of the tape only once."
+func TestScanPaperExample(t *testing.T) {
+	m := testModel(t, 1)
+	v := m.View()
+	seg := func(track, physSection int) int {
+		l := physSection
+		if v.Track(track).Dir == geometry.Reverse {
+			l = v.Track(track).Sections() - 1 - physSection
+		}
+		return v.SectionStartLBN(track, l) + 5
+	}
+	a := seg(16, 2)  // forward track
+	b := seg(17, 12) // reverse track
+	c := seg(18, 3)  // forward track
+	p := &Problem{Start: 0, Requests: []int{a, b, c}, Cost: m}
+	plan, err := Scan{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{a, c, b}
+	for i := range want {
+		if plan.Order[i] != want[i] {
+			t.Fatalf("SCAN order = %v, want %v", plan.Order, want)
+		}
+	}
+	// And SORT takes the worse order (16,2), (17,12), (18,3): two
+	// long passes over the tape instead of one.
+	sp, err := Sort{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Estimate(p).Total() <= plan.Estimate(p).Total() {
+		t.Fatalf("SORT (%.1f) should lose to SCAN (%.1f) on the paper's example",
+			sp.Estimate(p).Total(), plan.Estimate(p).Total())
+	}
+}
+
+// Elevator structure: the schedule decomposes into alternating up
+// passes (physical section numbers non-decreasing, forward tracks
+// only) and down passes (non-increasing, reverse tracks only).
+func TestScanElevatorStructure(t *testing.T) {
+	m := testModel(t, 1)
+	v := m.View()
+	p := randomProblem(t, m, 300, 8)
+	plan, err := Scan{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type cell struct {
+		forward bool
+		section int
+	}
+	var cells []cell
+	var last cell
+	for _, r := range plan.Order {
+		pl := v.Place(r)
+		c := cell{pl.Dir == geometry.Forward, pl.PhysSection}
+		if len(cells) == 0 || c != last {
+			cells = append(cells, c)
+			last = c
+		}
+	}
+	// Split into passes: a pass switches when direction flips.
+	passes := 0
+	i := 0
+	for i < len(cells) {
+		passes++
+		forward := cells[i].forward
+		prev := -1
+		if !forward {
+			prev = 1 << 30
+		}
+		for i < len(cells) && cells[i].forward == forward {
+			if forward && cells[i].section < prev {
+				break // new up pass begins (wrapped)
+			}
+			if !forward && cells[i].section > prev {
+				break // new down pass begins
+			}
+			prev = cells[i].section
+			i++
+		}
+	}
+	// 300 random requests over 64x14 sections: nearly one request
+	// per 3 sections; SCAN should need only a handful of shuttles.
+	if passes > 40 {
+		t.Fatalf("SCAN used %d passes for 300 requests", passes)
+	}
+}
+
+// One track per (pass, section): within a single pass, each physical
+// section is served from exactly one track.
+func TestScanOneTrackPerSectionPerPass(t *testing.T) {
+	m := testModel(t, 1)
+	v := m.View()
+	// Construct requests in the same physical section of two forward
+	// tracks: they must be served on different passes, lowest track
+	// first.
+	s1 := v.SectionStartLBN(10, 6) + 3 // forward track 10, phys section 6
+	s2 := v.SectionStartLBN(20, 6) + 3 // forward track 20, phys section 6
+	p := &Problem{Start: 0, Requests: []int{s2, s1}, Cost: m}
+	plan, err := Scan{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Order[0] != s1 || plan.Order[1] != s2 {
+		t.Fatalf("lowest track should be served first: %v", plan.Order)
+	}
+}
+
+// Within a served section, requests come in ascending segment order.
+func TestScanSectionsSorted(t *testing.T) {
+	m := testModel(t, 1)
+	v := m.View()
+	p := randomProblem(t, m, 400, 12)
+	plan, err := Scan{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(plan.Order); i++ {
+		a, b := plan.Order[i-1], plan.Order[i]
+		if v.SectionIndex(a) == v.SectionIndex(b) && b < a {
+			t.Fatalf("requests within a section out of order: %d before %d", a, b)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+// This file holds the three schedulers that need no optimization
+// machinery: READ, FIFO and SORT.
+
+// Read is the paper's READ algorithm: ignore the request order
+// entirely and read the whole tape sequentially, then rewind. It
+// needs no locate operations and no scheduling, and it wins once a
+// batch is dense enough (more than ~1536 uniformly random requests on
+// a DLT4000).
+type Read struct{}
+
+// Name returns "READ".
+func (Read) Name() string { return "READ" }
+
+// Schedule returns a whole-tape plan; the pass encounters the
+// requests in ascending segment order.
+func (Read) Schedule(p *Problem) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return Plan{Order: sortedCopy(p.Requests), WholeTape: true}, nil
+}
+
+// FIFO is the paper's FIFO algorithm: perform the locates and reads
+// in the order the requests were presented, with no reordering. It is
+// the "no scheduling" baseline: about 50 random I/Os per hour on a
+// DLT4000.
+type FIFO struct{}
+
+// Name returns "FIFO".
+func (FIFO) Name() string { return "FIFO" }
+
+// Schedule returns the requests unchanged.
+func (FIFO) Schedule(p *Problem) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	order := make([]int, len(p.Requests))
+	copy(order, p.Requests)
+	return Plan{Order: order}, nil
+}
+
+// Sort is the paper's SORT algorithm: retrieve in ascending segment
+// number order. It is optimal for helical-scan tape, where block
+// numbers follow physical position, but poor on serpentine tape for
+// small batches: consecutive segment numbers can be far apart
+// physically, and the schedule makes a full length-of-tape pass per
+// track. It becomes reasonable only when nearly every section holds a
+// request.
+type Sort struct{}
+
+// Name returns "SORT".
+func (Sort) Name() string { return "SORT" }
+
+// Schedule returns the requests in ascending segment order.
+func (Sort) Schedule(p *Problem) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return Plan{Order: sortedCopy(p.Requests)}, nil
+}

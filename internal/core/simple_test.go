@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestFIFOPreservesOrder(t *testing.T) {
+	m := testModel(t, 1)
+	reqs := []int{500, 100, 900, 100, 3}
+	plan, err := FIFO{}.Schedule(&Problem{Start: 0, Requests: reqs, Cost: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		if plan.Order[i] != r {
+			t.Fatalf("FIFO reordered: %v", plan.Order)
+		}
+	}
+	// The plan must be a copy, not an alias.
+	plan.Order[0] = 42
+	if reqs[0] != 500 {
+		t.Fatal("FIFO aliased the request slice")
+	}
+}
+
+func TestSortOrders(t *testing.T) {
+	m := testModel(t, 1)
+	reqs := []int{500, 100, 900, 100, 3}
+	plan, err := Sort{}.Schedule(&Problem{Start: 0, Requests: reqs, Cost: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(plan.Order) {
+		t.Fatalf("SORT output not sorted: %v", plan.Order)
+	}
+	if reqs[0] != 500 {
+		t.Fatal("SORT mutated its input")
+	}
+}
+
+func TestReadIsWholeTapeSorted(t *testing.T) {
+	m := testModel(t, 1)
+	reqs := []int{500, 100, 900}
+	plan, err := Read{}.Schedule(&Problem{Start: 12345, Requests: reqs, Cost: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.WholeTape || !sort.IntsAreSorted(plan.Order) {
+		t.Fatalf("READ plan wrong: wholeTape=%v order=%v", plan.WholeTape, plan.Order)
+	}
+}
+
+func TestEmptyRequestsEverywhere(t *testing.T) {
+	m := testModel(t, 1)
+	p := &Problem{Start: 7, Cost: m}
+	for _, s := range []Scheduler{Read{}, FIFO{}, Sort{}, NewSLTF(), Scan{}, Weave{}, NewLOSS(), NewSparseLOSS(), NewOPT(10), NewAuto()} {
+		plan, err := s.Schedule(p)
+		if err != nil {
+			t.Fatalf("%s on empty: %v", s.Name(), err)
+		}
+		if len(plan.Order) != 0 {
+			t.Fatalf("%s on empty returned %v", s.Name(), plan.Order)
+		}
+	}
+}
+
+// SORT's weakness on serpentine tape (Section 4): for small batches
+// it is no better than FIFO, because consecutive segment numbers can
+// be physically far apart.
+func TestSortPoorOnSmallBatches(t *testing.T) {
+	m := testModel(t, 1)
+	var sortTotal, sltfTotal float64
+	for seed := int64(0); seed < 10; seed++ {
+		p := randomProblem(t, m, 8, seed)
+		sp, err := Sort{}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := NewSLTF().Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortTotal += sp.Estimate(p).Total()
+		sltfTotal += lp.Estimate(p).Total()
+	}
+	if sortTotal < 1.5*sltfTotal {
+		t.Fatalf("SORT (%.0f) should be much worse than SLTF (%.0f) on small batches", sortTotal, sltfTotal)
+	}
+}
+
+// ...but reasonable when nearly every section holds a request.
+func TestSortConvergesOnDenseBatches(t *testing.T) {
+	m := testModel(t, 1)
+	p := randomProblem(t, m, 2000, 4)
+	sp, err := Sort{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := m.FullReadTime()
+	if got := sp.Estimate(p).Total(); got > 1.15*full {
+		t.Fatalf("dense SORT = %.0f s, should approach full read %.0f s", got, full)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+)
+
+// SLTF's first move must be the greedy one: no other request can be
+// cheaper to reach from the start than the first scheduled request.
+func TestSLTFFirstMoveIsGreedy(t *testing.T) {
+	m := testModel(t, 1)
+	for seed := int64(0); seed < 10; seed++ {
+		p := randomProblem(t, m, 30, seed)
+		plan, err := NewSLTF().Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := p.Cost.LocateTime(p.Start, plan.Order[0])
+		for _, r := range p.Requests {
+			if p.Cost.LocateTime(p.Start, r) < first-1e-9 {
+				t.Fatalf("seed %d: request %d (%.2f) cheaper than first pick %d (%.2f)",
+					seed, r, p.Cost.LocateTime(p.Start, r), plan.Order[0], first)
+			}
+		}
+	}
+}
+
+// Once SLTF enters a section it must consume all of that section's
+// requests in ascending order (the paper's fact 1).
+func TestSLTFConsumesSectionsWhole(t *testing.T) {
+	m := testModel(t, 1)
+	v := m.View()
+	p := randomProblem(t, m, 200, 3)
+	plan, err := NewSLTF().Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the schedule: section changes must never revisit a
+	// section... except the split start section, which may be
+	// revisited once for its before-start part.
+	startIdx := v.SectionIndex(p.Start)
+	visited := make(map[int]int)
+	cur := -1
+	for _, r := range plan.Order {
+		idx := v.SectionIndex(r)
+		if idx != cur {
+			visited[idx]++
+			cur = idx
+		}
+	}
+	for idx, n := range visited {
+		max := 1
+		if idx == startIdx {
+			max = 2
+		}
+		if n > max {
+			t.Fatalf("section %d entered %d times", idx, n)
+		}
+	}
+}
+
+// SLTF should beat FIFO decisively on random batches (the whole point
+// of scheduling).
+func TestSLTFBeatsFIFO(t *testing.T) {
+	m := testModel(t, 1)
+	for _, n := range []int{16, 96} {
+		p := randomProblem(t, m, n, int64(n))
+		fifo, err := FIFO{}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sltf, err := NewSLTF().Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sltf.Estimate(p).Total() > 0.7*fifo.Estimate(p).Total() {
+			t.Fatalf("n=%d: SLTF %.0f not clearly better than FIFO %.0f",
+				n, sltf.Estimate(p).Total(), fifo.Estimate(p).Total())
+		}
+	}
+}
+
+// The requests at or after the start position in the start section
+// are nearly free and should be scheduled first.
+func TestSLTFReadsAheadInStartSection(t *testing.T) {
+	m := testModel(t, 1)
+	v := m.View()
+	start := v.SectionStartLBN(20, 5) + 100
+	ahead1 := start + 50
+	ahead2 := start + 200
+	behind := start - 50 // same section, behind the head
+	far := v.SectionStartLBN(40, 8)
+	p := &Problem{Start: start, Requests: []int{far, behind, ahead2, ahead1}, Cost: m}
+	plan, err := NewSLTF().Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Order[0] != ahead1 || plan.Order[1] != ahead2 {
+		t.Fatalf("SLTF should read ahead in the start section first: %v", plan.Order)
+	}
+	// The behind-start request must not be second (it costs a
+	// backward maneuver).
+	if plan.Order[2] == behind && m.LocateTime(ahead2+1, behind) > m.LocateTime(ahead2+1, far) {
+		t.Fatalf("SLTF picked the expensive backward request: %v", plan.Order)
+	}
+}
+
+// Coalesced SLTF: schedules whole runs of nearby segments together.
+func TestSLTFCoalescedKeepsRunsTogether(t *testing.T) {
+	m := testModel(t, 1)
+	run1 := []int{100000, 100100, 100900}         // one run, gaps < 1410
+	run2 := []int{400000, 400500, 401200, 402000} // one run
+	reqs := append(append([]int{}, run1...), run2...)
+	p := &Problem{Start: 0, Requests: reqs, Cost: m}
+	plan, err := NewSLTFCoalesced(DefaultCoalesceThreshold).Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, r := range plan.Order {
+		pos[r] = i
+	}
+	for i := 1; i < len(run1); i++ {
+		if pos[run1[i]] != pos[run1[i-1]]+1 {
+			t.Fatalf("run1 split apart: %v", plan.Order)
+		}
+	}
+	for i := 1; i < len(run2); i++ {
+		if pos[run2[i]] != pos[run2[i-1]]+1 {
+			t.Fatalf("run2 split apart: %v", plan.Order)
+		}
+	}
+}
+
+func TestSLTFNames(t *testing.T) {
+	if NewSLTF().Name() != "SLTF" || NewSLTFCoalesced(100).Name() != "SLTF-C" {
+		t.Fatal("SLTF names wrong")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import "testing"
+
+// SparseLOSS must land close to dense coalesced LOSS: it explores the
+// same solution space on a thinned graph.
+func TestSparseLOSSQuality(t *testing.T) {
+	m := testModel(t, 1)
+	for _, n := range []int{64, 256, 768} {
+		p := randomProblem(t, m, n, int64(n)+5)
+		dense, err := NewLOSSCoalesced(DefaultCoalesceThreshold).Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparse, err := NewSparseLOSS().Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := dense.Estimate(p).Total()
+		s := sparse.Estimate(p).Total()
+		if s > 1.15*d {
+			t.Fatalf("n=%d: sparse LOSS %.0f more than 15%% above dense %.0f", n, s, d)
+		}
+	}
+}
+
+// Small instances never reach the sparse rounds: the dense finish
+// must produce identical results to coalesced LOSS.
+func TestSparseLOSSSmallEqualsDense(t *testing.T) {
+	m := testModel(t, 1)
+	p := randomProblem(t, m, 24, 4)
+	dense, err := NewLOSSCoalesced(DefaultCoalesceThreshold).Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewSparseLOSS().Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dense.Order {
+		if dense.Order[i] != sparse.Order[i] {
+			t.Fatalf("small instance: sparse differs from dense at %d", i)
+		}
+	}
+}
+
+// Force the sparse path with a tiny dense limit and verify
+// correctness end to end.
+func TestSparseLOSSForcedSparseRounds(t *testing.T) {
+	m := testModel(t, 1)
+	p := randomProblem(t, m, 512, 8)
+	s := SparseLOSS{Threshold: 500, DenseLimit: 16}
+	plan, err := s.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPermutation(p.Requests, plan.Order); err != nil {
+		t.Fatal(err)
+	}
+	// Quality should still be sane: within 2x of SLTF.
+	sp, err := NewSLTF().Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Estimate(p).Total() > 2*sp.Estimate(p).Total() {
+		t.Fatalf("forced-sparse schedule badly degraded: %.0f vs SLTF %.0f",
+			plan.Estimate(p).Total(), sp.Estimate(p).Total())
+	}
+}
+
+func TestSparseLOSSName(t *testing.T) {
+	if NewSparseLOSS().Name() != "LOSS-SPARSE" {
+		t.Fatal("name wrong")
+	}
+}

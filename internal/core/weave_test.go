@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"serpentine/internal/geometry"
+)
+
+// The weave pattern must cover every (track-group, section) pair for
+// the DLT geometry without needing the defensive completion sweep, so
+// a schedule is always completable by pattern alone.
+func TestWeavePatternCoversEverything(t *testing.T) {
+	params := geometry.DLT4000()
+	s := params.SectionsPerTrack
+	for _, tr := range []int{0, 1, 31, 62, 63} {
+		for start := 0; start < s; start++ {
+			items := weavePattern(params, tr, start)
+			// The pattern enumerator appends a defensive sweep; the
+			// test asserts the sweep adds nothing: the first 3*s
+			// distinct items must already cover all pairs... which
+			// is equivalent to the full list containing exactly 3*s
+			// items (duplicates are suppressed at emit time).
+			if len(items) != 3*s {
+				t.Fatalf("track %d start %d: %d items, want %d", tr, start, len(items), 3*s)
+			}
+			seen := make(map[weaveItem]bool)
+			for _, it := range items {
+				if it.sect < 0 || it.sect >= s {
+					t.Fatalf("item out of range: %+v", it)
+				}
+				if seen[it] {
+					t.Fatalf("duplicate item %+v", it)
+				}
+				seen[it] = true
+			}
+		}
+	}
+}
+
+// The pattern opens with the current section of the current track,
+// then its next two sections: the cheapest possible continuations.
+func TestWeavePatternOpening(t *testing.T) {
+	params := geometry.DLT4000()
+	items := weavePattern(params, 10, 5) // forward track
+	want := []weaveItem{{kindOwn, 5}, {kindOwn, 6}, {kindOwn, 7}, {kindCo, 7}}
+	for i, w := range want {
+		if items[i] != w {
+			t.Fatalf("item %d = %+v, want %+v", i, items[i], w)
+		}
+	}
+	// Reverse track: forward means decreasing physical sections.
+	items = weavePattern(params, 11, 5)
+	want = []weaveItem{{kindOwn, 5}, {kindOwn, 4}, {kindOwn, 3}, {kindCo, 3}}
+	for i, w := range want {
+		if items[i] != w {
+			t.Fatalf("reverse item %d = %+v, want %+v", i, items[i], w)
+		}
+	}
+}
+
+// flip() swaps the preference order at the two sections of each tape
+// end (the paper's mapping 0,1,...,12,13 -> 1,0,...,13,12): walking
+// down toward the beginning of tape, the natural order ...,1,0
+// becomes ...,0,1 — section 0 is considered first because both
+// sections are reached by scanning to the track start, and 0 is
+// closer to it; symmetrically the sweep up considers 13 before 12.
+func TestWeaveFlipAtEnds(t *testing.T) {
+	params := geometry.DLT4000()
+	items := weavePattern(params, 10, 7)
+	posOf := func(k weaveKind, sect int) int {
+		for i, it := range items {
+			if it.kind == k && it.sect == sect {
+				return i
+			}
+		}
+		t.Fatalf("(%v,%d) not found", k, sect)
+		return -1
+	}
+	if posOf(kindOwn, 0) > posOf(kindOwn, 1) {
+		t.Error("flip should order section 0 before section 1 on the downward sweep")
+	}
+	if posOf(kindAnti, 13) > posOf(kindAnti, 12) {
+		t.Error("flip should order section 13 before section 12 on the upward sweep")
+	}
+}
+
+// WEAVE consumes the head's own section first when it has requests.
+func TestWeaveStartsAtOwnSection(t *testing.T) {
+	m := testModel(t, 1)
+	v := m.View()
+	start := v.SectionStartLBN(30, 4) + 10
+	own := start + 50
+	far := v.SectionStartLBN(50, 9)
+	p := &Problem{Start: start, Requests: []int{far, own}, Cost: m}
+	plan, err := Weave{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Order[0] != own {
+		t.Fatalf("WEAVE should serve the head's section first: %v", plan.Order)
+	}
+}
+
+// WEAVE approximates SLTF without any locate-time calls; its
+// schedules should land within a modest factor of SLTF's.
+func TestWeaveQualityNearSLTF(t *testing.T) {
+	m := testModel(t, 1)
+	var weaveTotal, sltfTotal float64
+	for seed := int64(0); seed < 8; seed++ {
+		p := randomProblem(t, m, 64, seed*3+2)
+		wp, err := Weave{}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := NewSLTF().Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weaveTotal += wp.Estimate(p).Total()
+		sltfTotal += sp.Estimate(p).Total()
+	}
+	if weaveTotal > 1.4*sltfTotal {
+		t.Fatalf("WEAVE (%.0f) too far behind SLTF (%.0f)", weaveTotal, sltfTotal)
+	}
+	if weaveTotal < sltfTotal*0.95 {
+		t.Fatalf("WEAVE (%.0f) should not beat SLTF (%.0f) materially: it is the approximation", weaveTotal, sltfTotal)
+	}
+}
+
+// Within a served section, ascending order.
+func TestWeaveSectionsSorted(t *testing.T) {
+	m := testModel(t, 1)
+	v := m.View()
+	p := randomProblem(t, m, 250, 21)
+	plan, err := Weave{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(plan.Order); i++ {
+		a, b := plan.Order[i-1], plan.Order[i]
+		if v.SectionIndex(a) == v.SectionIndex(b) && b < a {
+			t.Fatalf("requests within a section out of order: %d before %d", a, b)
+		}
+	}
+}

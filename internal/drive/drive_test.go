@@ -1,0 +1,312 @@
+package drive
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"serpentine/internal/geometry"
+	"serpentine/internal/locate"
+	"serpentine/internal/rand48"
+)
+
+func newTape(t testing.TB, serial int64) *geometry.Tape {
+	t.Helper()
+	return geometry.MustGenerate(geometry.DLT4000(), serial)
+}
+
+// tapeA is the model-development cartridge: zero personality.
+func tapeA(t testing.TB) *geometry.Tape {
+	t.Helper()
+	p := geometry.DLT4000()
+	p.PersonalityFrac = 0
+	return geometry.MustGenerate(p, 1)
+}
+
+func TestNewDriveStartsAtBOT(t *testing.T) {
+	d := New(newTape(t, 1))
+	if d.Position() != 0 || d.Clock() != 0 {
+		t.Fatal("fresh drive should be at segment 0 with a zero clock")
+	}
+}
+
+func TestLocateMovesAndCharges(t *testing.T) {
+	d := New(newTape(t, 1))
+	el, err := d.Locate(300000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Position() != 300000 {
+		t.Fatalf("position = %d, want 300000", d.Position())
+	}
+	if el <= 0 || math.Abs(d.Clock()-el) > 1e-9 {
+		t.Fatalf("elapsed %g, clock %g", el, d.Clock())
+	}
+	s := d.Stats()
+	if s.Locates != 1 || s.LocateSec != el || s.DistanceSections <= 0 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+}
+
+func TestLocateRejectsOutOfRange(t *testing.T) {
+	d := New(newTape(t, 1))
+	if _, err := d.Locate(-1); err == nil {
+		t.Fatal("negative locate accepted")
+	}
+	if _, err := d.Locate(d.Tape().Segments()); err == nil {
+		t.Fatal("past-end locate accepted")
+	}
+}
+
+func TestLocateInPlaceIsFree(t *testing.T) {
+	d := New(newTape(t, 1))
+	if _, err := d.Locate(500); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Clock()
+	el, err := d.Locate(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el != 0 || d.Clock() != before {
+		t.Fatalf("in-place locate charged %g", el)
+	}
+}
+
+// Measured locate times must track the host model closely on the
+// model-development tape: this is the paper's Section 3 agreement.
+func TestMeasuredTimesTrackModel(t *testing.T) {
+	tape := tapeA(t)
+	d := New(tape)
+	model, err := locate.FromKeyPoints(tape.KeyPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand48.New(19)
+	over2 := 0
+	const trials = 1500
+	for i := 0; i < trials; i++ {
+		src := rng.Intn(tape.Segments())
+		dst := rng.Intn(tape.Segments())
+		if _, err := d.Locate(src); err != nil {
+			t.Fatal(err)
+		}
+		meas, err := d.Locate(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(meas-model.LocateTime(src, dst)) > 2 {
+			over2++
+		}
+	}
+	// The paper saw 7 in 3000 (~0.23%); allow up to 1%.
+	if over2 > trials/100 {
+		t.Fatalf("%d/%d locates off by more than 2 s", over2, trials)
+	}
+}
+
+func TestReadAdvancesHead(t *testing.T) {
+	d := New(newTape(t, 1))
+	if _, err := d.Locate(1000); err != nil {
+		t.Fatal(err)
+	}
+	el, err := d.Read(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Position() != 1064 {
+		t.Fatalf("position after read = %d, want 1064", d.Position())
+	}
+	// 64 segments of 32 KB at ~1.5 MB/s is ~1.4 s.
+	if el < 1.0 || el > 2.0 {
+		t.Fatalf("64-segment read took %g s", el)
+	}
+	if s := d.Stats(); s.SegmentsRead != 64 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	d := New(newTape(t, 1))
+	last := d.Tape().Segments() - 1
+	if _, err := d.Locate(last); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(2); !errors.Is(err, ErrEndOfTape) {
+		t.Fatalf("want ErrEndOfTape, got %v", err)
+	}
+	if _, err := d.Read(0); err == nil {
+		t.Fatal("zero-length read accepted")
+	}
+	// Reading the final segment clamps the head at the last segment.
+	if _, err := d.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Position() != last {
+		t.Fatalf("position after final read = %d, want %d", d.Position(), last)
+	}
+}
+
+func TestRewind(t *testing.T) {
+	d := New(newTape(t, 1))
+	if _, err := d.Locate(400000); err != nil {
+		t.Fatal(err)
+	}
+	el := d.Rewind()
+	if d.Position() != 0 {
+		t.Fatal("rewind should return to segment 0")
+	}
+	if el <= 0 || el > 180 {
+		t.Fatalf("rewind took %g s", el)
+	}
+	if s := d.Stats(); s.Rewinds != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestExecuteOrderSumsOperations(t *testing.T) {
+	d := New(newTape(t, 1), WithoutNoise())
+	order := []int{100000, 250000, 50000}
+	total, err := d.ExecuteOrder(order, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-d.Clock()) > 1e-9 {
+		t.Fatalf("ExecuteOrder total %g != clock %g", total, d.Clock())
+	}
+	if s := d.Stats(); s.Locates != 3 || s.SegmentsRead != 3 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if d.Position() != 50001 {
+		t.Fatalf("final position %d, want 50001", d.Position())
+	}
+}
+
+func TestReadEntireTapeNearPaper(t *testing.T) {
+	d := New(tapeA(t))
+	if _, err := d.Locate(123456); err != nil {
+		t.Fatal(err)
+	}
+	total, err := d.ReadEntireTape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Includes the initial rewind; the paper quotes ~14,000 s.
+	if total < 13000 || total > 15000 {
+		t.Fatalf("whole-tape read = %.0f s, want ~14,000", total)
+	}
+	if d.Position() != 0 {
+		t.Fatal("whole-tape read should end rewound")
+	}
+	if got := d.Stats().SegmentsRead; got != d.Tape().Segments() {
+		t.Fatalf("read %d segments, want all %d", got, d.Tape().Segments())
+	}
+}
+
+func TestNoiseSeedDeterminism(t *testing.T) {
+	run := func(seed int64) float64 {
+		d := New(newTape(t, 2), WithNoiseSeed(seed))
+		total, err := d.ExecuteOrder([]int{5000, 400000, 123456, 9999}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	if run(1) != run(1) {
+		t.Fatal("same noise seed must reproduce")
+	}
+	if run(1) == run(2) {
+		t.Fatal("different noise seeds should differ")
+	}
+}
+
+func TestWithoutNoiseDeterministicAndCloseToModel(t *testing.T) {
+	tape := tapeA(t)
+	a := New(tape, WithoutNoise())
+	b := New(tape, WithoutNoise())
+	order := []int{100, 500000, 20000, 350000}
+	ta, err := a.ExecuteOrder(order, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.ExecuteOrder(order, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta != tb {
+		t.Fatal("noise-free drives must agree exactly")
+	}
+}
+
+// Case-1 motions (short forward skips) must stay cheap: reading
+// ahead is not a seek.
+func TestShortForwardSkipCheap(t *testing.T) {
+	d := New(newTape(t, 1))
+	if _, err := d.Locate(10000); err != nil {
+		t.Fatal(err)
+	}
+	el, err := d.Locate(10050)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el > 3 {
+		t.Fatalf("50-segment forward skip took %g s", el)
+	}
+}
+
+func TestResetClock(t *testing.T) {
+	d := New(newTape(t, 1))
+	if _, err := d.Locate(1000); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetClock()
+	if d.Clock() != 0 || d.Stats().Locates != 0 {
+		t.Fatal("ResetClock should zero clock and stats")
+	}
+	if d.Position() != 1000 {
+		t.Fatal("ResetClock must not move the head")
+	}
+}
+
+func TestHeadPassesAccumulate(t *testing.T) {
+	tape := newTape(t, 1)
+	d := New(tape)
+	if _, err := d.ReadEntireTape(); err != nil {
+		t.Fatal(err)
+	}
+	passes := d.Stats().HeadPasses(tape.Params())
+	// One full sequential read passes the head over every track:
+	// ~64 track lengths.
+	if passes < 60 || passes > 70 {
+		t.Fatalf("full read = %.1f head passes, want ~64", passes)
+	}
+}
+
+// The drive's hidden personality must shift measurements consistently
+// on a non-reference cartridge.
+func TestPersonalityShiftsMeasurements(t *testing.T) {
+	tape := newTape(t, 3) // default profile: non-zero personality
+	d := New(tape, WithoutNoise())
+	model, err := locate.FromKeyPoints(tape.KeyPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand48.New(8)
+	var bias float64
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		src := rng.Intn(tape.Segments())
+		dst := rng.Intn(tape.Segments())
+		if _, err := d.Locate(src); err != nil {
+			t.Fatal(err)
+		}
+		meas, err := d.Locate(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bias += meas - model.LocateTime(src, dst)
+	}
+	if math.Abs(bias/trials) < 0.05 {
+		t.Fatalf("personality bias %.4f s/locate suspiciously small", bias/trials)
+	}
+}

@@ -1,0 +1,108 @@
+package geometry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// A characterization is expensive — hundreds of simulated drive-hours
+// of locate measurements — and is valid for the life of the cartridge,
+// so systems persist key-point tables alongside their volume catalog.
+// This file defines the on-disk format: a single versioned JSON
+// document carrying the drive profile, the cartridge identity and the
+// boundary table, with full structural validation on load (a corrupt
+// table would silently produce Figure 9's disastrous schedules).
+
+// keyFileVersion identifies the serialization format.
+const keyFileVersion = 1
+
+// keyFile is the on-disk envelope.
+type keyFile struct {
+	Version int     `json:"version"`
+	Serial  int64   `json:"serial,omitempty"`
+	Params  Params  `json:"profile"`
+	Total   int     `json:"total_segments"`
+	Bound   [][]int `json:"bound"`
+}
+
+// WriteKeyPoints serializes a key-point table. serial records which
+// cartridge it characterizes (0 if unknown).
+func WriteKeyPoints(w io.Writer, kp *KeyPointTable, serial int64) error {
+	if err := kp.Validate(); err != nil {
+		return fmt.Errorf("geometry: refusing to write invalid key points: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(keyFile{
+		Version: keyFileVersion,
+		Serial:  serial,
+		Params:  kp.Params,
+		Total:   kp.Total,
+		Bound:   kp.Bound,
+	})
+}
+
+// ReadKeyPoints deserializes and validates a key-point table,
+// returning the table and the cartridge serial it was recorded for.
+func ReadKeyPoints(r io.Reader) (*KeyPointTable, int64, error) {
+	var kf keyFile
+	dec := json.NewDecoder(bufio.NewReader(r))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&kf); err != nil {
+		return nil, 0, fmt.Errorf("geometry: reading key points: %w", err)
+	}
+	if kf.Version != keyFileVersion {
+		return nil, 0, fmt.Errorf("geometry: key file version %d, want %d", kf.Version, keyFileVersion)
+	}
+	if err := kf.Params.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("geometry: key file profile: %w", err)
+	}
+	kp := &KeyPointTable{Params: kf.Params, Bound: kf.Bound, Total: kf.Total}
+	if err := kp.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("geometry: key file table: %w", err)
+	}
+	return kp, kf.Serial, nil
+}
+
+// SaveKeyPointsFile writes a key-point table to path, atomically via
+// a temporary file in the same directory.
+func SaveKeyPointsFile(path string, kp *KeyPointTable, serial int64) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".keypoints-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteKeyPoints(tmp, kp, serial); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadKeyPointsFile reads a key-point table from path.
+func LoadKeyPointsFile(path string) (*KeyPointTable, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return ReadKeyPoints(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,143 @@
+package geometry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestKeyPointsRoundTrip(t *testing.T) {
+	tape := MustGenerate(DLT4000(), 9)
+	kp := tape.KeyPoints()
+	var buf bytes.Buffer
+	if err := WriteKeyPoints(&buf, kp, 9); err != nil {
+		t.Fatal(err)
+	}
+	got, serial, err := ReadKeyPoints(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != 9 {
+		t.Fatalf("serial = %d, want 9", serial)
+	}
+	if got.Total != kp.Total || got.Params.Name != kp.Params.Name {
+		t.Fatal("metadata lost in round trip")
+	}
+	for tr := range kp.Bound {
+		for l := range kp.Bound[tr] {
+			if got.Bound[tr][l] != kp.Bound[tr][l] {
+				t.Fatalf("boundary (%d,%d) changed", tr, l)
+			}
+		}
+	}
+	// The loaded table must build a working view.
+	if _, err := got.View(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteRefusesInvalidTable(t *testing.T) {
+	tape := MustGenerate(Tiny(), 1)
+	kp := tape.KeyPoints()
+	kp.Bound[0][1] = kp.Bound[0][2] + 5 // corrupt
+	var buf bytes.Buffer
+	if err := WriteKeyPoints(&buf, kp, 1); err == nil {
+		t.Fatal("invalid table written")
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	tape := MustGenerate(Tiny(), 1)
+	kp := tape.KeyPoints()
+	var buf bytes.Buffer
+	if err := WriteKeyPoints(&buf, kp, 1); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := map[string]string{
+		"not json":      "hello",
+		"wrong version": strings.Replace(good, `"version": 1`, `"version": 99`, 1),
+		"unknown field": strings.Replace(good, `"version": 1`, `"version": 1, "extra": true`, 1),
+		"bad boundary":  strings.Replace(good, `"total_segments"`, `"total_segments_off"`, 1),
+	}
+	for name, text := range cases {
+		if _, _, err := ReadKeyPoints(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Structural corruption that parses as JSON.
+	tampered := strings.Replace(good, kpFirstBoundary(t, kp), "999999999", 1)
+	if _, _, err := ReadKeyPoints(strings.NewReader(tampered)); err == nil {
+		t.Error("tampered boundary accepted")
+	}
+}
+
+// kpFirstBoundary returns the textual form of an interior boundary
+// value for tampering.
+func kpFirstBoundary(t *testing.T, kp *KeyPointTable) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteKeyPoints(&buf, kp, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The second boundary of track 0 appears in the bound array.
+	return itoa(kp.Bound[0][1])
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := []byte{}
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestSaveLoadKeyPointsFile(t *testing.T) {
+	tape := MustGenerate(DLT4000(), 4)
+	path := filepath.Join(t.TempDir(), "tape4.keypoints")
+	if err := SaveKeyPointsFile(path, tape.KeyPoints(), 4); err != nil {
+		t.Fatal(err)
+	}
+	got, serial, err := LoadKeyPointsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != 4 || got.Total != tape.Segments() {
+		t.Fatal("file round trip lost data")
+	}
+	if _, _, err := LoadKeyPointsFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// No stray temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".keypoints-") {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
+	}
+}
+
+func TestDirOf(t *testing.T) {
+	cases := map[string]string{
+		"a/b/c":  "a/b",
+		"/x":     "/",
+		"plain":  ".",
+		"./file": ".",
+	}
+	for in, want := range cases {
+		if got := dirOf(in); got != want {
+			t.Errorf("dirOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

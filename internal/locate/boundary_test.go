@@ -1,0 +1,134 @@
+package locate
+
+import (
+	"testing"
+
+	"serpentine/internal/geometry"
+)
+
+// Exhaustive sweep of every (src, dst) pair on the small geometry:
+// the model must be a total, bounded, non-negative function with a
+// valid case classification everywhere — including both tape ends,
+// both directions, and the short final sections.
+func TestExhaustiveTinyGeometry(t *testing.T) {
+	tape := geometry.MustGenerate(geometry.Tiny(), 1)
+	m, err := FromKeyPoints(tape.KeyPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Segments()
+	p := tape.Params()
+	// The Tiny tape is ~5 sections per track; an upper bound on any
+	// locate is a full-length scan plus two sections of read plus
+	// all the fixed costs.
+	maxLocate := p.ScanSecPerSection*float64(p.SectionsPerTrack+2) +
+		p.ReadSecPerSection*3 + p.TrackSwitchSec + 2*p.ReverseSec + p.OverheadSec
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			lt := m.LocateTime(src, dst)
+			if lt < 0 || lt > maxLocate {
+				t.Fatalf("LocateTime(%d,%d) = %g out of [0,%g]", src, dst, lt, maxLocate)
+			}
+			c := m.Classify(src, dst)
+			if src == dst {
+				if c != CaseNone || lt != 0 {
+					t.Fatalf("(%d,%d): same segment misclassified (%v, %g)", src, dst, c, lt)
+				}
+				continue
+			}
+			if c < Case1 || c > Case7 {
+				t.Fatalf("Classify(%d,%d) = %v", src, dst, c)
+			}
+		}
+	}
+}
+
+// The extremes of the full DLT4000 layout: the four corners of the
+// address space and the boundaries of every track must all be
+// reachable from each other without panics or out-of-range times.
+func TestDLTBoundarySegments(t *testing.T) {
+	tape := geometry.MustGenerate(geometry.DLT4000(), 1)
+	m, err := FromKeyPoints(tape.KeyPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tape.View()
+	var extremes []int
+	for tr := 0; tr < v.Tracks(); tr++ {
+		tv := v.Track(tr)
+		extremes = append(extremes, tv.StartLBN(), tv.EndLBN()-1)
+	}
+	extremes = append(extremes, 0, m.Segments()-1)
+	for _, src := range extremes {
+		for _, dst := range extremes {
+			lt := m.LocateTime(src, dst)
+			if lt < 0 || lt > 185 {
+				t.Fatalf("LocateTime(%d,%d) = %g out of range", src, dst, lt)
+			}
+			if m.ReadTime(dst) <= 0 {
+				t.Fatalf("ReadTime(%d) not positive", dst)
+			}
+			if m.RewindTime(src) < 0 {
+				t.Fatalf("RewindTime(%d) negative", src)
+			}
+		}
+	}
+}
+
+// The short final physical section (section 13) must behave like any
+// other section: its segments are placeable, locatable, and its
+// boundaries classify correctly.
+func TestShortSectionBehaviour(t *testing.T) {
+	tape := geometry.MustGenerate(geometry.DLT4000(), 1)
+	m, err := FromKeyPoints(tape.KeyPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tape.View()
+	p := tape.Params()
+	for _, tr := range []int{0, 1, 63} {
+		tv := v.Track(tr)
+		// The short physical section is the last physical one: the
+		// last logical section on forward tracks, the first on
+		// reverse tracks.
+		l := tv.Sections() - 1
+		if tv.Dir == geometry.Reverse {
+			l = 0
+		}
+		count := tv.SectionCount(l)
+		if count >= p.SegmentsPerSection {
+			t.Fatalf("track %d: short section has %d segments", tr, count)
+		}
+		start := tv.BoundLBN[l]
+		end := tv.BoundLBN[l+1] - 1
+		for _, lbn := range []int{start, (start + end) / 2, end} {
+			pl := v.Place(lbn)
+			if pl.PhysSection != p.SectionsPerTrack-1 {
+				t.Fatalf("track %d segment %d: physical section %d, want %d",
+					tr, lbn, pl.PhysSection, p.SectionsPerTrack-1)
+			}
+			if lt := m.LocateTime(0, lbn); lt < 0 || lt > 185 {
+				t.Fatalf("locate to short section = %g", lt)
+			}
+		}
+	}
+}
+
+// Track 63 (the final reverse track) reads toward the beginning of
+// tape: its last segment is physically near BOT, so rewinding from it
+// is nearly free — the structural fact that makes READ's trailing
+// rewind cheap.
+func TestFinalTrackEndsNearBOT(t *testing.T) {
+	tape := geometry.MustGenerate(geometry.DLT4000(), 1)
+	m, err := FromKeyPoints(tape.KeyPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := m.Segments() - 1
+	if pos := tape.View().Place(last).Pos; pos > 0.1 {
+		t.Fatalf("last segment at physical position %.3f, want ~0", pos)
+	}
+	if rw := m.RewindTime(last); rw > 10 {
+		t.Fatalf("rewind from last segment = %.1f s, want nearly free", rw)
+	}
+}

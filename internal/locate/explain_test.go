@@ -1,0 +1,50 @@
+package locate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"serpentine/internal/rand48"
+)
+
+// Explanations must account for exactly the estimated time, over the
+// whole input space.
+func TestExplainSumsToLocateTime(t *testing.T) {
+	_, m := dltModel(t, 1)
+	rng := rand48.New(17)
+	for i := 0; i < 2000; i++ {
+		src := rng.Intn(m.Segments())
+		dst := rng.Intn(m.Segments())
+		e := m.Explain(src, dst)
+		if math.Abs(e.Total-m.LocateTime(src, dst)) > 1e-9 {
+			t.Fatalf("Explain(%d,%d) total %.6f != LocateTime %.6f", src, dst, e.Total, m.LocateTime(src, dst))
+		}
+		if e.Maneuver.Case != m.Classify(src, dst) {
+			t.Fatalf("Explain case %v != Classify %v", e.Maneuver.Case, m.Classify(src, dst))
+		}
+	}
+}
+
+func TestExplainStrings(t *testing.T) {
+	tape, m := dltModel(t, 1)
+	v := tape.View()
+
+	same := m.Explain(100, 100)
+	if !strings.Contains(same.String(), "already positioned") {
+		t.Fatalf("same-segment explanation: %s", same)
+	}
+
+	fwd := m.Explain(100, 200)
+	if !strings.Contains(fwd.String(), "case1") || !strings.Contains(fwd.String(), "read forward") {
+		t.Fatalf("case-1 explanation: %s", fwd)
+	}
+
+	far := m.Explain(100, v.Track(40).StartLBN()+500)
+	s := far.String()
+	for _, want := range []string{"switch track", "scan", "reversal", "overhead"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("long-locate explanation missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package locate
+
+import (
+	"math"
+	"testing"
+
+	"serpentine/internal/geometry"
+	"serpentine/internal/rand48"
+)
+
+func TestEstimateScheduleAccumulates(t *testing.T) {
+	_, m := dltModel(t, 1)
+	order := []int{100000, 200000, 50000}
+	b := EstimateSchedule(m, 0, order)
+	if b.Locates != 3 {
+		t.Fatalf("Locates = %d, want 3", b.Locates)
+	}
+	want := m.LocateTime(0, 100000) + m.LocateTime(100001, 200000) + m.LocateTime(200001, 50000)
+	if math.Abs(b.Locate-want) > 1e-9 {
+		t.Fatalf("Locate = %g, want %g", b.Locate, want)
+	}
+	wantRead := m.ReadTime(100000) + m.ReadTime(200000) + m.ReadTime(50000)
+	if math.Abs(b.Read-wantRead) > 1e-9 {
+		t.Fatalf("Read = %g, want %g", b.Read, wantRead)
+	}
+	if b.Total() != b.Locate+b.Read {
+		t.Fatal("Total != Locate+Read")
+	}
+	if b.MaxLocate <= 0 || b.MaxLocate > b.Locate {
+		t.Fatalf("MaxLocate = %g out of range", b.MaxLocate)
+	}
+	if got := b.PerLocate(); math.Abs(got-b.Total()/3) > 1e-12 {
+		t.Fatalf("PerLocate = %g", got)
+	}
+}
+
+func TestEstimateScheduleEmpty(t *testing.T) {
+	_, m := dltModel(t, 1)
+	b := EstimateSchedule(m, 0, nil)
+	if b.Total() != 0 || b.PerLocate() != 0 || b.Locates != 0 {
+		t.Fatal("empty schedule should be free")
+	}
+	if b.String() == "" {
+		t.Fatal("Breakdown.String empty")
+	}
+}
+
+// A perfectly sequential schedule costs pure reading: consecutive
+// segments have zero locate cost.
+func TestSequentialScheduleHasNoLocateCost(t *testing.T) {
+	_, m := dltModel(t, 1)
+	order := make([]int, 100)
+	for i := range order {
+		order[i] = 5000 + i
+	}
+	b := EstimateSchedule(m, 5000, order)
+	if b.Locate != 0 {
+		t.Fatalf("sequential schedule locate cost = %g, want 0", b.Locate)
+	}
+}
+
+func TestHeadAfterReadClampsAtEnd(t *testing.T) {
+	_, m := dltModel(t, 1)
+	last := m.Segments() - 1
+	if got := HeadAfterRead(m, last); got != last {
+		t.Fatalf("HeadAfterRead(last) = %d, want %d", got, last)
+	}
+	if got := HeadAfterRead(m, 10); got != 11 {
+		t.Fatalf("HeadAfterRead(10) = %d, want 11", got)
+	}
+}
+
+func TestFinalHead(t *testing.T) {
+	_, m := dltModel(t, 1)
+	if got := FinalHead(m, 123, nil); got != 123 {
+		t.Fatalf("FinalHead(empty) = %d, want start", got)
+	}
+	if got := FinalHead(m, 0, []int{5, 900}); got != 901 {
+		t.Fatalf("FinalHead = %d, want 901", got)
+	}
+}
+
+func TestPerturbedAltersByParity(t *testing.T) {
+	_, m := dltModel(t, 1)
+	p := &Perturbed{Base: m, E: 5}
+	rng := rand48.New(3)
+	for i := 0; i < 500; i++ {
+		src := rng.Intn(m.Segments())
+		dst := rng.Intn(m.Segments())
+		if src == dst {
+			continue
+		}
+		base := m.LocateTime(src, dst)
+		got := p.LocateTime(src, dst)
+		want := base + 5
+		if dst%2 == 1 {
+			want = base - 5
+		}
+		if want < 0 {
+			want = 0
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Perturbed(%d,%d) = %g, want %g", src, dst, got, want)
+		}
+	}
+}
+
+func TestPerturbedNeverNegative(t *testing.T) {
+	_, m := dltModel(t, 1)
+	p := &Perturbed{Base: m, E: 1e6}
+	if got := p.LocateTime(0, 1); got < 0 {
+		t.Fatalf("perturbed locate negative: %g", got)
+	}
+}
+
+func TestPerturbedDelegates(t *testing.T) {
+	tape, m := dltModel(t, 1)
+	p := &Perturbed{Base: m, E: 2}
+	if p.Segments() != m.Segments() || p.View() != m.View() {
+		t.Fatal("Perturbed must delegate View/Segments")
+	}
+	if p.ReadTime(100) != m.ReadTime(100) {
+		t.Fatal("Perturbed must delegate ReadTime")
+	}
+	if p.FullReadTime() != m.FullReadTime() {
+		t.Fatal("Perturbed must delegate FullReadTime")
+	}
+	_ = tape
+}
+
+// The truth-geometry model and the key-point model must agree
+// closely on the same tape: this is the foundation of Figure 8.
+func TestExactVsKeyPointModelAgreement(t *testing.T) {
+	tape := geometry.MustGenerate(geometry.DLT4000(), 5)
+	exact := NewModel(tape.View())
+	kp, err := FromKeyPoints(tape.KeyPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand48.New(77)
+	const trials = 2000
+	var worst, sum float64
+	over2 := 0
+	for i := 0; i < trials; i++ {
+		src := rng.Intn(exact.Segments())
+		dst := rng.Intn(exact.Segments())
+		d := math.Abs(exact.LocateTime(src, dst) - kp.LocateTime(src, dst))
+		sum += d
+		worst = math.Max(worst, d)
+		if d > 2 {
+			over2++
+		}
+	}
+	// The paper's Section 3 quality bar: errors over 2 s are rare
+	// (7 in 3000 on the model-development tape); the mean error is
+	// well under a second. The worst case can reach a few seconds
+	// when a near-boundary position estimate flips a scan direction.
+	if mean := sum / trials; mean > 0.5 {
+		t.Fatalf("mean exact-vs-keypoint disagreement %.3f s, want < 0.5", mean)
+	}
+	if over2 > trials/100 {
+		t.Fatalf("%d/%d disagreements over 2 s, want < 1%%", over2, trials)
+	}
+	if worst > 8 {
+		t.Fatalf("worst disagreement %.2f s, want < 8", worst)
+	}
+}

@@ -1,0 +1,108 @@
+// Package rand48 reimplements the Solaris/SVID lrand48 family of
+// pseudorandom number generators. The paper's simulation experiments
+// (Section 5, Figure 3) seed lrand48 and draw uniformly distributed
+// segment numbers from it; reproducing the generator bit-for-bit keeps
+// our experiment loop faithful to the original.
+//
+// The generator is the 48-bit linear congruential generator
+//
+//	X(n+1) = (a*X(n) + c) mod 2^48
+//
+// with a = 0x5DEECE66D and c = 0xB. lrand48 returns the high 31 bits,
+// drand48 converts all 48 bits to a float in [0,1).
+package rand48
+
+const (
+	multiplier = 0x5DEECE66D
+	increment  = 0xB
+	mask48     = 1<<48 - 1
+
+	// seedLow is the constant low 16 bits installed by srand48.
+	seedLow = 0x330E
+)
+
+// Source is a drop-in for the Solaris lrand48 generator. The zero
+// value behaves like a generator seeded with srand48(0).
+//
+// Source is not safe for concurrent use; each goroutine in the
+// simulator owns its own Source.
+type Source struct {
+	state  uint64
+	seeded bool
+}
+
+// New returns a Source seeded as if by srand48(seed): the high 32 bits
+// of the state are the low 32 bits of the seed and the low 16 bits are
+// the constant 0x330E.
+func New(seed int64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the generator state exactly as srand48 does.
+func (s *Source) Seed(seed int64) {
+	s.state = (uint64(uint32(seed))<<16 | seedLow) & mask48
+	s.seeded = true
+}
+
+func (s *Source) step() uint64 {
+	if !s.seeded {
+		s.Seed(0)
+	}
+	s.state = (s.state*multiplier + increment) & mask48
+	return s.state
+}
+
+// Lrand48 returns a non-negative long integer uniformly distributed
+// over [0, 2^31), exactly as lrand48(3C).
+func (s *Source) Lrand48() int64 {
+	return int64(s.step() >> 17)
+}
+
+// Mrand48 returns a signed long integer uniformly distributed over
+// [-2^31, 2^31), exactly as mrand48(3C).
+func (s *Source) Mrand48() int64 {
+	return int64(int32(s.step() >> 16))
+}
+
+// Drand48 returns a float64 uniformly distributed over [0, 1),
+// exactly as drand48(3C).
+func (s *Source) Drand48() float64 {
+	return float64(s.step()) / (1 << 48)
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0. The paper's experiment draws segment numbers in
+// [0, 622058); this helper applies the classic modulo reduction that a
+// 1996 C program would have used (lrand48() % n). For n far below
+// 2^31 the modulo bias is negligible (< 3e-4 for the tape sizes here),
+// and matching the original arithmetic matters more than removing it.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rand48: Intn with non-positive n")
+	}
+	return int(s.Lrand48() % int64(n))
+}
+
+// Perm returns a pseudorandom permutation of [0, n) using the
+// Fisher-Yates shuffle driven by this source.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Int63 makes Source satisfy the shape of math/rand.Source64 users
+// that only need 63 uniform bits; it concatenates two generator steps.
+func (s *Source) Int63() int64 {
+	hi := s.step() >> 17 // 31 bits
+	lo := s.step() >> 16 // 32 bits
+	return int64(hi<<32 | lo)
+}

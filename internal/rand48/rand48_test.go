@@ -1,0 +1,162 @@
+package rand48
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// step48 is an independent reimplementation of the SVID generator
+// used to cross-check Source.
+func step48(state uint64) uint64 {
+	return (state*0x5DEECE66D + 0xB) & (1<<48 - 1)
+}
+
+func TestLrand48MatchesDefinition(t *testing.T) {
+	s := New(0)
+	state := uint64(0x330E) // srand48(0)
+	for i := 0; i < 1000; i++ {
+		state = step48(state)
+		want := int64(state >> 17)
+		if got := s.Lrand48(); got != want {
+			t.Fatalf("step %d: Lrand48() = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSeedInstallsSrand48State(t *testing.T) {
+	s := New(12345)
+	state := uint64(12345)<<16 | 0x330E
+	state = step48(state)
+	if got, want := s.Lrand48(), int64(state>>17); got != want {
+		t.Fatalf("first draw after seed = %d, want %d", got, want)
+	}
+}
+
+func TestSeedUsesLow32BitsOfSeed(t *testing.T) {
+	// srand48 takes a long but installs only 32 bits.
+	a := New(1)
+	b := New(1 + (1 << 32))
+	for i := 0; i < 10; i++ {
+		if a.Lrand48() != b.Lrand48() {
+			t.Fatal("seeds equal mod 2^32 must generate identical streams")
+		}
+	}
+}
+
+func TestZeroValueBehavesAsSeedZero(t *testing.T) {
+	var zero Source
+	seeded := New(0)
+	for i := 0; i < 10; i++ {
+		if zero.Lrand48() != seeded.Lrand48() {
+			t.Fatal("zero-value Source must behave like New(0)")
+		}
+	}
+}
+
+func TestLrand48Range(t *testing.T) {
+	s := New(99)
+	for i := 0; i < 10000; i++ {
+		v := s.Lrand48()
+		if v < 0 || v >= 1<<31 {
+			t.Fatalf("Lrand48() = %d out of [0, 2^31)", v)
+		}
+	}
+}
+
+func TestMrand48Range(t *testing.T) {
+	s := New(99)
+	sawNeg, sawPos := false, false
+	for i := 0; i < 10000; i++ {
+		v := s.Mrand48()
+		if v < -(1<<31) || v >= 1<<31 {
+			t.Fatalf("Mrand48() = %d out of [-2^31, 2^31)", v)
+		}
+		if v < 0 {
+			sawNeg = true
+		}
+		if v > 0 {
+			sawPos = true
+		}
+	}
+	if !sawNeg || !sawPos {
+		t.Fatal("Mrand48 should produce both signs")
+	}
+}
+
+func TestDrand48RangeAndMean(t *testing.T) {
+	s := New(7)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Drand48()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Drand48() = %g out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Drand48 mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	if err := quick.Check(func(raw uint16) bool {
+		n := int(raw%1000) + 1
+		v := s.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has %d entries", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestStreamsAreReproducible(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Drand48() != b.Drand48() {
+			t.Fatal("same seed must yield the same stream")
+		}
+	}
+}
+
+func TestInt63Positive(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 1000; i++ {
+		if v := s.Int63(); v < 0 {
+			t.Fatalf("Int63() = %d negative", v)
+		}
+	}
+}
+
+func BenchmarkLrand48(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Lrand48()
+	}
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+
+	"serpentine/internal/core"
+	"serpentine/internal/locate"
+	"serpentine/internal/stats"
+	"serpentine/internal/workload"
+)
+
+// ChainConfig describes the paper's first scenario made literal: "a
+// tape is scheduled repeatedly, executing retrievals in batches. In
+// this case, at the beginning of each schedule execution the tape
+// head is in the position of the last read in the previous batch."
+// Instead of approximating that steady state by drawing a random
+// starting position per trial (as the Figure 3 pseudocode does),
+// BatchChain actually chains the batches and measures the steady
+// state directly.
+type ChainConfig struct {
+	// Model is the cost model.
+	Model locate.Cost
+	// Scheduler orders each batch; nil selects LOSS.
+	Scheduler core.Scheduler
+	// BatchSize is the number of requests per batch.
+	BatchSize int
+	// Batches is how many batches to chain.
+	Batches int
+	// Warmup batches are executed but excluded from the statistics
+	// (the first batch starts at the beginning of tape); 0 selects 1.
+	Warmup int
+	// ReadLen is the per-request transfer length; 0 means 1.
+	ReadLen int
+	// Seed seeds request generation.
+	Seed int64
+	// Workload generates batches; nil selects uniform.
+	Workload workload.Generator
+}
+
+// ChainResult summarizes a chained run.
+type ChainResult struct {
+	// PerLocate accumulates each measured batch's per-request time.
+	PerLocate stats.Accumulator
+	// TotalSec is the summed estimated execution time of the
+	// measured batches.
+	TotalSec float64
+	// Requests is the number of requests in the measured batches.
+	Requests int
+	// FinalHead is the head position after the last batch.
+	FinalHead int
+}
+
+// IOsPerHour is the steady-state retrieval rate.
+func (r ChainResult) IOsPerHour() float64 {
+	if r.TotalSec == 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.TotalSec * 3600
+}
+
+// BatchChain runs the chained-batch experiment.
+func BatchChain(cfg ChainConfig) (ChainResult, error) {
+	if cfg.Model == nil {
+		return ChainResult{}, fmt.Errorf("sim: BatchChain needs a model")
+	}
+	if cfg.BatchSize < 1 || cfg.Batches < 1 {
+		return ChainResult{}, fmt.Errorf("sim: BatchChain needs positive batch size and count")
+	}
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = core.NewLOSS()
+	}
+	warmup := cfg.Warmup
+	if warmup <= 0 {
+		warmup = 1
+	}
+	gen := cfg.Workload
+	if gen == nil {
+		gen = workload.NewUniform(cfg.Model.Segments(), cfg.Seed)
+	}
+
+	var res ChainResult
+	head := 0
+	for b := 0; b < cfg.Batches; b++ {
+		p := &core.Problem{
+			Start:    head,
+			Requests: gen.Batch(cfg.BatchSize),
+			ReadLen:  cfg.ReadLen,
+			Cost:     cfg.Model,
+		}
+		plan, err := sched.Schedule(p)
+		if err != nil {
+			return res, fmt.Errorf("sim: chained batch %d: %w", b, err)
+		}
+		est := plan.Estimate(p)
+		head = plan.FinalHead(p)
+		if b < warmup {
+			continue
+		}
+		res.PerLocate.Add(est.Total() / float64(cfg.BatchSize))
+		res.TotalSec += est.Total()
+		res.Requests += cfg.BatchSize
+	}
+	res.FinalHead = head
+	return res, nil
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"serpentine/internal/core"
+)
+
+// The paper's Figure 3 pseudocode approximates steady-state batched
+// service by drawing a fresh random starting position per trial. The
+// chained experiment measures the steady state directly; the two must
+// agree, which validates the paper's experimental design.
+func TestChainedSteadyStateMatchesRandomStart(t *testing.T) {
+	m := dltModel(t)
+	chain, err := BatchChain(ChainConfig{
+		Model:     m,
+		BatchSize: 96,
+		Batches:   30,
+		Warmup:    2,
+		Seed:      6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Model:      m,
+		Schedulers: []core.Scheduler{core.NewLOSS()},
+		Lengths:    []int{96},
+		Trials:     func(int) int { return 30 },
+		Start:      RandomStart,
+		Seed:       6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep, _ := res.MeanPerLocate("LOSS", 96)
+	got := chain.PerLocate.Mean()
+	if math.Abs(got-indep) > 0.1*indep {
+		t.Fatalf("chained steady state %.2f s/locate vs random-start approximation %.2f: should agree within 10%%", got, indep)
+	}
+}
+
+func TestBatchChainAccounting(t *testing.T) {
+	m := dltModel(t)
+	res, err := BatchChain(ChainConfig{
+		Model:     m,
+		Scheduler: core.NewSLTF(),
+		BatchSize: 16,
+		Batches:   5,
+		Warmup:    1,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 4*16 {
+		t.Fatalf("measured %d requests, want 64", res.Requests)
+	}
+	if res.PerLocate.N() != 4 {
+		t.Fatalf("measured %d batches, want 4", res.PerLocate.N())
+	}
+	if res.TotalSec <= 0 || res.IOsPerHour() <= 0 {
+		t.Fatal("empty totals")
+	}
+	if res.FinalHead < 0 || res.FinalHead >= m.Segments() {
+		t.Fatalf("final head %d out of range", res.FinalHead)
+	}
+}
+
+func TestBatchChainValidates(t *testing.T) {
+	if _, err := BatchChain(ChainConfig{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := BatchChain(ChainConfig{Model: dltModel(t)}); err == nil {
+		t.Fatal("zero batch size accepted")
+	}
+}
+
+func TestBatchChainDeterministic(t *testing.T) {
+	m := dltModel(t)
+	run := func() float64 {
+		r, err := BatchChain(ChainConfig{Model: m, BatchSize: 8, Batches: 4, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.TotalSec
+	}
+	if run() != run() {
+		t.Fatal("chained run not deterministic")
+	}
+}

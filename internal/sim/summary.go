@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// SummaryRow is one line of the paper's Section 8 bottom line: the
+// random-retrieval rate a DLT4000 achieves under each regime.
+type SummaryRow struct {
+	// Label names the regime ("FIFO (no scheduling)", "OPT, batch
+	// 10", ...).
+	Label string
+	// Alg and N identify the data point.
+	Alg string
+	N   int
+	// SecPerIO is the mean schedule time per retrieval.
+	SecPerIO float64
+	// IOsPerHour is 3600/SecPerIO.
+	IOsPerHour float64
+	// Paper is the rate the paper reports for this regime.
+	Paper float64
+}
+
+// Summary extracts the Section 8 headline rates from a simulation
+// result: FIFO unscheduled, OPT at batch 10, LOSS at batches 96 and
+// 1024, and whole-tape READ amortized over 1536 requests. The paper's
+// numbers are 50, 93, 124, 285 and 391 I/Os per hour.
+func Summary(r *Result) ([]SummaryRow, error) {
+	want := []struct {
+		label string
+		alg   string
+		n     int
+		paper float64
+	}{
+		{"FIFO (no scheduling), batch 192", "FIFO", 192, 50},
+		{"OPT, batch 10", "OPT", 10, 93},
+		{"LOSS, batch 96", "LOSS", 96, 124},
+		{"LOSS, batch 1024", "LOSS", 1024, 285},
+		{"READ entire tape, batch 1536", "READ", 1536, 391},
+	}
+	rows := make([]SummaryRow, 0, len(want))
+	for _, w := range want {
+		per, ok := r.MeanPerLocate(w.alg, w.n)
+		if !ok {
+			return nil, fmt.Errorf("sim: summary needs %s at n=%d in the result", w.alg, w.n)
+		}
+		rows = append(rows, SummaryRow{
+			Label:      w.label,
+			Alg:        w.alg,
+			N:          w.n,
+			SecPerIO:   per,
+			IOsPerHour: 3600 / per,
+			Paper:      w.paper,
+		})
+	}
+	return rows, nil
+}
+
+// WriteSummary prints the Section 8 comparison against the paper.
+func WriteSummary(w io.Writer, rows []SummaryRow) error {
+	if _, err := fmt.Fprintf(w, "# random retrieval rates (Section 8)\n%-36s %10s %10s %10s\n",
+		"regime", "s/IO", "IO/hour", "paper"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintf(w, "%-36s %10.2f %10.1f %10.0f\n",
+			row.Label, row.SecPerIO, row.IOsPerHour, row.Paper); err != nil {
+			return err
+		}
+	}
+	return nil
+}

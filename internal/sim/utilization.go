@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// UtilizationCurve is one constant-utilization contour of the paper's
+// Figure 7: for each schedule length, the per-request transfer size
+// that makes transfers the target fraction of the DLT4000's 1.5 MB/s
+// sequential bandwidth.
+type UtilizationCurve struct {
+	// Target is the utilization fraction (0.25, 0.33, 0.5, ...).
+	Target float64
+	// N are the schedule lengths.
+	N []int
+	// TransferMB[i] is the per-request transfer size achieving
+	// Target at schedule length N[i].
+	TransferMB []float64
+}
+
+// PaperUtilizationTargets are the utilization levels of Figure 7.
+var PaperUtilizationTargets = []float64{0.25, 0.33, 0.50, 0.75, 0.90}
+
+// UtilizationCurves derives Figure 7 from a simulation result: with a
+// mean positioning cost of L seconds per request at schedule length N
+// (for the given algorithm), a transfer of B bytes occupies the drive
+// for B/rate seconds, so utilization u = (B/rate) / (B/rate + L) and
+// the required transfer size is B = rate * L * u/(1-u).
+func UtilizationCurves(r *Result, alg string, rateBytesPerSec float64, targets []float64) ([]UtilizationCurve, error) {
+	if targets == nil {
+		targets = PaperUtilizationTargets
+	}
+	curves := make([]UtilizationCurve, 0, len(targets))
+	for _, u := range targets {
+		if u <= 0 || u >= 1 {
+			return nil, fmt.Errorf("sim: utilization target %g out of (0,1)", u)
+		}
+		c := UtilizationCurve{Target: u}
+		for _, lr := range r.Lengths {
+			a := lr.Alg[alg]
+			if a == nil || a.Schedules == 0 {
+				continue
+			}
+			l := a.PerLocate.Mean()
+			c.N = append(c.N, lr.N)
+			c.TransferMB = append(c.TransferMB, rateBytesPerSec*l*u/(1-u)/1e6)
+		}
+		if len(c.N) == 0 {
+			return nil, fmt.Errorf("sim: no data for algorithm %q", alg)
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// WriteUtilization prints the Figure 7 family: rows are schedule
+// lengths, columns the transfer size (MB) required per utilization
+// target.
+func WriteUtilization(w io.Writer, curves []UtilizationCurve) error {
+	if len(curves) == 0 {
+		return fmt.Errorf("sim: no utilization curves")
+	}
+	if _, err := fmt.Fprintf(w, "# transfer size (MB/request) to reach target utilization\n%8s", "N"); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		if _, err := fmt.Fprintf(w, " %9.0f%%", c.Target*100); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i := range curves[0].N {
+		if _, err := fmt.Fprintf(w, "%8d", curves[0].N[i]); err != nil {
+			return err
+		}
+		for _, c := range curves {
+			if _, err := fmt.Fprintf(w, " %10.2f", c.TransferMB[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"serpentine/internal/core"
+	"serpentine/internal/drive"
+	"serpentine/internal/geometry"
+	"serpentine/internal/locate"
+)
+
+func tapeAB(t testing.TB) (*geometry.Tape, *geometry.Tape) {
+	t.Helper()
+	pa := geometry.DLT4000()
+	pa.PersonalityFrac = 0 // the model-development cartridge
+	a := geometry.MustGenerate(pa, 1)
+	b := geometry.MustGenerate(geometry.DLT4000(), 2)
+	return a, b
+}
+
+func model(t testing.TB, tape *geometry.Tape) *locate.Model {
+	t.Helper()
+	m, err := locate.FromKeyPoints(tape.KeyPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Figure 8's shape: with correct key points, estimates are within ~1%
+// of measurements for small schedules and degrade to around 5% at
+// 2048 requests.
+func TestValidationErrorShape(t *testing.T) {
+	a, _ := tapeAB(t)
+	points, err := Validate(ValidationConfig{
+		Drive:   drive.New(a),
+		Model:   model(t, a),
+		Lengths: []int{16, 96, 2048},
+		Trials:  2,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byN := make(map[int][]float64)
+	for _, p := range points {
+		byN[p.N] = append(byN[p.N], math.Abs(p.PctError()))
+	}
+	small := (byN[16][0] + byN[16][1]) / 2
+	mid := (byN[96][0] + byN[96][1]) / 2
+	big := (byN[2048][0] + byN[2048][1]) / 2
+	if small > 2 {
+		t.Errorf("error at n=16 is %.2f%%, paper: well under 1%%", small)
+	}
+	if mid > 2 {
+		t.Errorf("error at n=96 is %.2f%%, paper: under 1%%", mid)
+	}
+	if big < 2.5 || big > 8 {
+		t.Errorf("error at n=2048 is %.2f%%, paper: ~5%%", big)
+	}
+	if big < mid {
+		t.Error("error should grow with schedule size")
+	}
+}
+
+// Figure 9: with the wrong tape's key points the errors become
+// disastrous — an order of magnitude beyond Figure 8's.
+func TestWrongKeyPointsDisastrous(t *testing.T) {
+	a, b := tapeAB(t)
+	points, err := Validate(ValidationConfig{
+		Drive:   drive.New(a),
+		Model:   model(t, b),
+		Lengths: []int{96, 512},
+		Trials:  2,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst, sum float64
+	for _, p := range points {
+		e := math.Abs(p.PctError())
+		sum += e
+		worst = math.Max(worst, e)
+	}
+	mean := sum / float64(len(points))
+	if mean < 5 {
+		t.Errorf("wrong-key-points mean error %.1f%%, paper reports ~20%% typical", mean)
+	}
+	if worst < 8 {
+		t.Errorf("wrong-key-points worst error %.1f%%, should be large", worst)
+	}
+}
+
+func TestValidateConfigChecks(t *testing.T) {
+	if _, err := Validate(ValidationConfig{}); err == nil {
+		t.Fatal("missing drive/model accepted")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	a, _ := tapeAB(t)
+	points, err := Validate(ValidationConfig{
+		Drive:   drive.New(a),
+		Model:   model(t, a),
+		Lengths: []int{4},
+		Trials:  3,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteValidation(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "worst err%") {
+		t.Fatal("validation output malformed")
+	}
+}
+
+// Figure 10's conclusions: errors of 2 s or less have little effect;
+// 10 s degrades schedules by a percent or two at moderate-to-large
+// sizes; tiny batches are nearly immune (requests are far apart).
+func TestPerturbStudyShape(t *testing.T) {
+	a, _ := tapeAB(t)
+	points, err := PerturbStudy(PerturbConfig{
+		Model:   model(t, a),
+		Errors:  []float64{2, 10},
+		Lengths: []int{2, 192},
+		Trials:  func(int) int { return 25 },
+		Start:   BOTStart,
+		Seed:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(n int, e float64) float64 {
+		for _, p := range points {
+			if p.N == n && p.E == e {
+				return p.MeanPctIncr
+			}
+		}
+		t.Fatalf("missing cell (%d, %g)", n, e)
+		return 0
+	}
+	if v := cell(2, 2); v > 0.6 {
+		t.Errorf("n=2 E=2: %.2f%% increase, should be negligible", v)
+	}
+	if v := cell(192, 2); v > 1.5 {
+		t.Errorf("n=192 E=2: %.2f%% increase, paper: little effect", v)
+	}
+	ten := cell(192, 10)
+	if ten < 0.2 || ten > 6 {
+		t.Errorf("n=192 E=10: %.2f%% increase, paper: 1-2%%", ten)
+	}
+	if ten <= cell(192, 2) {
+		t.Error("larger model error should degrade schedules more")
+	}
+
+	var buf bytes.Buffer
+	if err := WritePerturb(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LOSS-10") {
+		t.Fatal("perturb output malformed")
+	}
+}
+
+// OPT shows no degradation even at E=10: it judges whole schedules,
+// and the alternating error averages out (the paper's Section 7
+// observation).
+func TestPerturbOPTImmune(t *testing.T) {
+	a, _ := tapeAB(t)
+	points, err := PerturbStudy(PerturbConfig{
+		Model:     model(t, a),
+		Scheduler: core.NewOPT(12),
+		Errors:    []float64{10},
+		Lengths:   []int{6},
+		Trials:    func(int) int { return 20 },
+		Start:     BOTStart,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := points[0].MeanPctIncr; v > 0.35 {
+		t.Errorf("OPT with E=10 degraded %.2f%%, paper: no estimation errors", v)
+	}
+}
+
+// Section 3's raw accuracy: ~7/3000 on the development tape, ~24/1000
+// on another cartridge.
+func TestLocateAccuracyPaperCounts(t *testing.T) {
+	a, b := tapeAB(t)
+	accA, err := LocateAccuracy(drive.New(a), model(t, a), 3000, 9001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accA.Over2s > 20 {
+		t.Errorf("tape A: %d/3000 over 2 s, paper 7", accA.Over2s)
+	}
+	if accA.MeanAbsErr > 0.8 {
+		t.Errorf("tape A mean |err| %.3f s, want well under a second", accA.MeanAbsErr)
+	}
+	accB, err := LocateAccuracy(drive.New(b), model(t, b), 1000, 9001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accB.Over2s < 5 || accB.Over2s > 60 {
+		t.Errorf("tape B: %d/1000 over 2 s, paper 24", accB.Over2s)
+	}
+	if accB.Over2s*3 <= accA.Over2s {
+		t.Error("a different tape should err more often than the development tape")
+	}
+}

@@ -1,0 +1,153 @@
+// Package stats provides the small set of statistical accumulators the
+// simulation experiments need: streaming mean/variance (Welford),
+// min/max, and batch helpers for percentiles. The paper reports the
+// mean and standard deviation of schedule execution times over many
+// trials (Section 5), so numerical stability over 100,000 samples
+// matters more than exotic estimators.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator collects samples and reports summary statistics using
+// Welford's online algorithm. The zero value is an empty accumulator
+// ready for use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddN incorporates every sample in xs.
+func (a *Accumulator) AddN(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// N returns the number of samples seen.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean, or 0 for an empty accumulator.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (n-1 denominator), or
+// 0 when fewer than two samples have been added.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest sample, or 0 for an empty accumulator.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample, or 0 for an empty accumulator.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Merge folds the samples summarized by b into a, as if every sample
+// added to b had been added to a. This implements Chan et al.'s
+// parallel variance combination and lets trial batches run on
+// separate goroutines.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	delta := b.mean - a.mean
+	total := float64(a.n + b.n)
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/total
+	a.mean += delta * float64(b.n) / total
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n += b.n
+}
+
+// String summarizes the accumulator for log output.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f",
+		a.n, a.Mean(), a.StdDev(), a.Min(), a.Max())
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the unbiased sample standard deviation of xs, or 0
+// when xs has fewer than two elements.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var a Accumulator
+	a.AddN(xs)
+	return a.StdDev()
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It panics on an empty
+// slice or out-of-range p. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: Percentile p out of range")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

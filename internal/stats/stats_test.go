@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// naive computes mean and unbiased stddev directly for cross-checks.
+func naive(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+func TestAccumulatorMatchesNaive(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2.5, -6, 5.25, 3}
+	var a Accumulator
+	a.AddN(xs)
+	wantMean, wantSD := naive(xs)
+	if !almost(a.Mean(), wantMean, 1e-12) {
+		t.Fatalf("Mean = %g, want %g", a.Mean(), wantMean)
+	}
+	if !almost(a.StdDev(), wantSD, 1e-12) {
+		t.Fatalf("StdDev = %g, want %g", a.StdDev(), wantSD)
+	}
+	if a.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", a.N(), len(xs))
+	}
+	if a.Min() != -6 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %g/%g, want -6/9", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.StdDev() != 0 || a.N() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+	a.Add(7)
+	if a.Mean() != 7 || a.StdDev() != 0 || a.Min() != 7 || a.Max() != 7 {
+		t.Fatalf("single-sample accumulator wrong: %v", a.String())
+	}
+}
+
+// Property: merging two accumulators equals accumulating the
+// concatenation. This is what makes parallel trial runners safe.
+func TestMergeEqualsConcatenation(t *testing.T) {
+	f := func(raw1, raw2 []int8) bool {
+		xs := make([]float64, len(raw1))
+		ys := make([]float64, len(raw2))
+		for i, v := range raw1 {
+			xs[i] = float64(v) / 3
+		}
+		for i, v := range raw2 {
+			ys[i] = float64(v) * 1.5
+		}
+		var a, b, both Accumulator
+		a.AddN(xs)
+		b.AddN(ys)
+		a.Merge(&b)
+		both.AddN(append(append([]float64{}, xs...), ys...))
+		if a.N() != both.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		return almost(a.Mean(), both.Mean(), 1e-9) &&
+			almost(a.Variance(), both.Variance(), 1e-9) &&
+			a.Min() == both.Min() && a.Max() == both.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var a, b Accumulator
+	b.AddN([]float64{1, 2, 3})
+	a.Merge(&b)
+	if a.N() != 3 || a.Mean() != 2 {
+		t.Fatalf("merge into empty: %s", a.String())
+	}
+	var c Accumulator
+	b.Merge(&c) // merging an empty accumulator is a no-op
+	if b.N() != 3 {
+		t.Fatal("merging empty changed the accumulator")
+	}
+}
+
+func TestNumericalStabilityLargeOffset(t *testing.T) {
+	// Welford must survive samples with a huge common offset.
+	var a Accumulator
+	const offset = 1e9
+	for _, x := range []float64{4, 7, 13, 16} {
+		a.Add(offset + x)
+	}
+	if !almost(a.StdDev(), 5.477225575, 1e-6) {
+		t.Fatalf("StdDev with offset = %g, want ~5.477", a.StdDev())
+	}
+}
+
+func TestMeanStdDevHelpers(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %g, want 5", got)
+	}
+	if got := StdDev(xs); !almost(got, 2.13809, 1e-4) {
+		t.Fatalf("StdDev = %g, want ~2.138", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("degenerate helper inputs should return 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40}, {40, 29},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-9) {
+			t.Fatalf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if Percentile([]float64{42}, 73) != 42 {
+		t.Fatal("single-element percentile should be that element")
+	}
+	// The input must not be reordered.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

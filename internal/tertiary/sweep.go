@@ -1,0 +1,40 @@
+package tertiary
+
+import "fmt"
+
+// SweepPoint is the outcome of serving one request stream under one
+// batch limit.
+type SweepPoint struct {
+	// BatchLimit is the cap on requests served per mount (0 = no
+	// cap).
+	BatchLimit int
+	// Metrics summarizes the run.
+	Metrics Metrics
+}
+
+// Sweep serves the same request stream repeatedly under different
+// batch limits and reports the resulting metrics, exposing the
+// central trade-off of online tertiary storage: larger batches cut
+// the per-retrieval positioning cost (the paper's whole point) but
+// make early requests wait for late ones. Each point rebuilds the
+// library so runs are independent.
+func Sweep(cfg Config, catalog *Catalog, requests []Request, batchLimits []int) ([]SweepPoint, error) {
+	if len(batchLimits) == 0 {
+		return nil, fmt.Errorf("tertiary: sweep needs at least one batch limit")
+	}
+	points := make([]SweepPoint, 0, len(batchLimits))
+	for _, limit := range batchLimits {
+		c := cfg
+		c.BatchLimit = limit
+		lib, err := New(c, catalog)
+		if err != nil {
+			return nil, fmt.Errorf("tertiary: sweep limit %d: %w", limit, err)
+		}
+		_, m, err := lib.Run(requests)
+		if err != nil {
+			return nil, fmt.Errorf("tertiary: sweep limit %d: %w", limit, err)
+		}
+		points = append(points, SweepPoint{BatchLimit: limit, Metrics: m})
+	}
+	return points, nil
+}

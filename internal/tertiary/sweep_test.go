@@ -1,0 +1,51 @@
+package tertiary
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSweepTradeoff(t *testing.T) {
+	cfg := smallCfg(1)
+	cat := smallCatalog(t, cfg, 40)
+	var reqs []Request
+	// A heavily loaded stream: everything arrives at once.
+	for j := 0; j < 40; j++ {
+		reqs = append(reqs, Request{ObjectID: fmt.Sprintf("t101/o%d", (j*23)%40)})
+	}
+	points, err := Sweep(cfg, cat, reqs, []int{1, 8, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Metrics.Served != 40 {
+			t.Fatalf("limit %d served %d of 40", p.BatchLimit, p.Metrics.Served)
+		}
+	}
+	// Under saturation, throughput must grow with the batch limit:
+	// that is the scheduling gain the system exists for.
+	if !(points[0].Metrics.IOsPerHour() < points[1].Metrics.IOsPerHour() &&
+		points[1].Metrics.IOsPerHour() <= points[2].Metrics.IOsPerHour()+1) {
+		t.Fatalf("throughput not improving with batch limit: %.1f, %.1f, %.1f",
+			points[0].Metrics.IOsPerHour(), points[1].Metrics.IOsPerHour(), points[2].Metrics.IOsPerHour())
+	}
+	// And so must media wear improve (fewer passes).
+	if points[0].Metrics.HeadPasses <= points[2].Metrics.HeadPasses {
+		t.Fatalf("wear not improving with batching: %.1f vs %.1f",
+			points[0].Metrics.HeadPasses, points[2].Metrics.HeadPasses)
+	}
+}
+
+func TestSweepValidates(t *testing.T) {
+	cfg := smallCfg(1)
+	cat := smallCatalog(t, cfg, 4)
+	if _, err := Sweep(cfg, cat, nil, nil); err == nil {
+		t.Fatal("empty limits accepted")
+	}
+	if _, err := Sweep(cfg, NewCatalog(), nil, []int{1}); err == nil {
+		t.Fatal("empty catalog accepted")
+	}
+}

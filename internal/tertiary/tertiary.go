@@ -1,0 +1,452 @@
+// Package tertiary assembles the pieces into the system the paper's
+// title promises: an online tertiary storage component that serves
+// random object reads from a library of serpentine tapes. It supplies
+// the context the scheduling algorithms run in — a volume catalog
+// mapping objects to (cartridge, segment extent), a request queue, a
+// batcher that groups pending requests by cartridge, a robot that
+// mounts cartridges into a pool of emulated drives, and the paper's
+// recommended scheduling policy (OPT for tiny batches, LOSS for
+// medium, whole-tape READ for dense ones) applied to each mounted
+// batch.
+//
+// The simulation is event-driven over virtual time: nothing sleeps,
+// and a multi-hour workload evaluates in milliseconds.
+package tertiary
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"serpentine/internal/core"
+	"serpentine/internal/drive"
+	"serpentine/internal/geometry"
+	"serpentine/internal/locate"
+)
+
+// Object is one catalog entry: a named extent on one cartridge.
+type Object struct {
+	// ID names the object.
+	ID string
+	// Tape is the cartridge serial holding the object.
+	Tape int64
+	// Start is the first segment of the extent.
+	Start int
+	// Segments is the extent length; 0 means 1.
+	Segments int
+}
+
+func (o Object) segments() int {
+	if o.Segments <= 0 {
+		return 1
+	}
+	return o.Segments
+}
+
+// Catalog maps object IDs to extents.
+type Catalog struct {
+	objects map[string]Object
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{objects: make(map[string]Object)}
+}
+
+// Put registers or replaces an object.
+func (c *Catalog) Put(o Object) error {
+	if o.ID == "" {
+		return errors.New("tertiary: object with empty ID")
+	}
+	c.objects[o.ID] = o
+	return nil
+}
+
+// Get looks an object up.
+func (c *Catalog) Get(id string) (Object, bool) {
+	o, ok := c.objects[id]
+	return o, ok
+}
+
+// Len returns the number of cataloged objects.
+func (c *Catalog) Len() int { return len(c.objects) }
+
+// Request is one read of a cataloged object.
+type Request struct {
+	// ObjectID names the object to read.
+	ObjectID string
+	// Arrival is the request's arrival time in virtual seconds.
+	Arrival float64
+}
+
+// Completion reports one served request.
+type Completion struct {
+	Request
+	// Object is the resolved catalog entry.
+	Object Object
+	// Done is the virtual time the transfer finished.
+	Done float64
+	// DriveID identifies the drive that served it.
+	DriveID int
+}
+
+// Latency is the request's response time.
+func (c Completion) Latency() float64 { return c.Done - c.Arrival }
+
+// Metrics summarizes a library run.
+type Metrics struct {
+	// Served is the number of completed requests.
+	Served int
+	// Makespan is the virtual time the last drive went idle.
+	Makespan float64
+	// MeanLatency and MaxLatency summarize response times.
+	MeanLatency float64
+	MaxLatency  float64
+	// Mounts is the number of cartridge mounts performed.
+	Mounts int
+	// Batches is the number of schedules executed.
+	Batches int
+	// BytesRead is the total data transferred.
+	BytesRead int64
+	// DriveBusySec is the summed busy time across drives.
+	DriveBusySec float64
+	// HeadPasses estimates total media wear in full-length passes.
+	HeadPasses float64
+}
+
+// IOsPerHour is the delivered random-retrieval rate.
+func (m Metrics) IOsPerHour() float64 {
+	if m.Makespan == 0 {
+		return 0
+	}
+	return float64(m.Served) / m.Makespan * 3600
+}
+
+// Config describes a library.
+type Config struct {
+	// Profile is the drive/cartridge format; zero value selects the
+	// DLT4000.
+	Profile geometry.Params
+	// Tapes are the cartridge serials in the library.
+	Tapes []int64
+	// Drives is the transport count; 0 selects 1.
+	Drives int
+	// MountSec and UnmountSec are the robot exchange times around a
+	// cartridge swap (load+thread, and rewind is charged separately
+	// by the drive); defaults 30 s and 15 s, typical for mid-90s
+	// libraries.
+	MountSec   float64
+	UnmountSec float64
+	// BatchLimit caps how many pending requests are served per
+	// mount; 0 means no cap.
+	BatchLimit int
+	// Scheduler orders each batch; nil selects the paper's Auto
+	// policy.
+	Scheduler core.Scheduler
+}
+
+// Library is an online tertiary store: a robot, a drive pool, tapes,
+// and a catalog.
+type Library struct {
+	cfg     Config
+	catalog *Catalog
+	tapes   map[int64]*geometry.Tape
+	models  map[int64]*locate.Model
+	sched   core.Scheduler
+}
+
+// New builds the library, generating (standing in for "loading") every
+// cartridge and characterizing it: each tape's locate model is built
+// from its own key points, as the paper's Figure 9 shows it must be.
+func New(cfg Config, catalog *Catalog) (*Library, error) {
+	if cfg.Profile.Tracks == 0 {
+		cfg.Profile = geometry.DLT4000()
+	}
+	if cfg.Drives <= 0 {
+		cfg.Drives = 1
+	}
+	if cfg.MountSec == 0 {
+		cfg.MountSec = 30
+	}
+	if cfg.UnmountSec == 0 {
+		cfg.UnmountSec = 15
+	}
+	if len(cfg.Tapes) == 0 {
+		return nil, errors.New("tertiary: library needs at least one tape")
+	}
+	if catalog == nil || catalog.Len() == 0 {
+		return nil, errors.New("tertiary: library needs a non-empty catalog")
+	}
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = core.NewAuto()
+	}
+	l := &Library{
+		cfg:     cfg,
+		catalog: catalog,
+		tapes:   make(map[int64]*geometry.Tape, len(cfg.Tapes)),
+		models:  make(map[int64]*locate.Model, len(cfg.Tapes)),
+		sched:   sched,
+	}
+	for _, serial := range cfg.Tapes {
+		tape, err := geometry.Generate(cfg.Profile, serial)
+		if err != nil {
+			return nil, err
+		}
+		model, err := locate.FromKeyPoints(tape.KeyPoints())
+		if err != nil {
+			return nil, err
+		}
+		l.tapes[serial] = tape
+		l.models[serial] = model
+	}
+	// Validate the catalog against the tapes.
+	for id, o := range catalog.objects {
+		tape, ok := l.tapes[o.Tape]
+		if !ok {
+			return nil, fmt.Errorf("tertiary: object %s on unknown tape %d", id, o.Tape)
+		}
+		if o.Start < 0 || o.Start+o.segments() > tape.Segments() {
+			return nil, fmt.Errorf("tertiary: object %s extent [%d,%d) outside tape %d",
+				id, o.Start, o.Start+o.segments(), o.Tape)
+		}
+	}
+	return l, nil
+}
+
+// Tapes returns the cartridge serials in the library.
+func (l *Library) Tapes() []int64 {
+	out := make([]int64, 0, len(l.tapes))
+	for s := range l.tapes {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// driveState tracks one transport through the simulation.
+type driveState struct {
+	id      int
+	clock   float64 // virtual time the drive becomes free
+	mounted int64   // cartridge serial, 0 if empty
+	dev     *drive.Drive
+	passes  float64
+	busy    float64
+}
+
+// pending is one unserved request resolved against the catalog.
+type pending struct {
+	req Request
+	obj Object
+}
+
+// Run serves every request and returns the completions (in completion
+// order) and run metrics. Requests may arrive at any time; the
+// simulation processes them in batches grouped by cartridge,
+// preferring the cartridge with the oldest waiting request among
+// those with the most work, which bounds starvation while keeping
+// batches dense.
+func (l *Library) Run(requests []Request) ([]Completion, Metrics, error) {
+	queue := make([]pending, 0, len(requests))
+	for _, r := range requests {
+		o, ok := l.catalog.Get(r.ObjectID)
+		if !ok {
+			return nil, Metrics{}, fmt.Errorf("tertiary: request for unknown object %q", r.ObjectID)
+		}
+		queue = append(queue, pending{req: r, obj: o})
+	}
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].req.Arrival < queue[j].req.Arrival })
+
+	drives := make([]*driveState, l.cfg.Drives)
+	for i := range drives {
+		drives[i] = &driveState{id: i}
+	}
+
+	var (
+		done    []Completion
+		metrics Metrics
+	)
+	for len(queue) > 0 {
+		// The next drive to become free takes the next batch.
+		d := drives[0]
+		for _, cand := range drives[1:] {
+			if cand.clock < d.clock {
+				d = cand
+			}
+		}
+		// Requests visible to this mount decision: those that have
+		// arrived by the time the drive is free; if none, the drive
+		// waits for the next arrival.
+		now := d.clock
+		if queue[0].req.Arrival > now {
+			now = queue[0].req.Arrival
+		}
+		visible := 0
+		for visible < len(queue) && queue[visible].req.Arrival <= now {
+			visible++
+		}
+
+		serial := l.pickTape(queue[:visible])
+		batch, rest := splitBatch(queue, visible, serial, l.cfg.BatchLimit)
+		queue = rest
+
+		completions, busy, passes, err := l.serveBatch(d, serial, now, batch)
+		if err != nil {
+			return nil, Metrics{}, err
+		}
+		done = append(done, completions...)
+		d.clock = now + busy
+		d.busy += busy
+		d.passes += passes
+		metrics.Mounts++
+		metrics.Batches++
+	}
+
+	for _, d := range drives {
+		if d.clock > metrics.Makespan {
+			metrics.Makespan = d.clock
+		}
+		metrics.DriveBusySec += d.busy
+		metrics.HeadPasses += d.passes
+	}
+	var latSum float64
+	for _, c := range done {
+		metrics.Served++
+		lat := c.Latency()
+		latSum += lat
+		if lat > metrics.MaxLatency {
+			metrics.MaxLatency = lat
+		}
+		metrics.BytesRead += int64(c.Object.segments()) * l.cfg.Profile.SegmentBytes
+	}
+	if metrics.Served > 0 {
+		metrics.MeanLatency = latSum / float64(metrics.Served)
+	}
+	sort.SliceStable(done, func(i, j int) bool { return done[i].Done < done[j].Done })
+	return done, metrics, nil
+}
+
+// pickTape chooses the cartridge to mount next: the one with the most
+// visible pending requests, ties broken by the oldest waiting request
+// so no cartridge starves.
+func (l *Library) pickTape(visible []pending) int64 {
+	count := make(map[int64]int)
+	oldest := make(map[int64]float64)
+	for _, p := range visible {
+		count[p.obj.Tape]++
+		if t, ok := oldest[p.obj.Tape]; !ok || p.req.Arrival < t {
+			oldest[p.obj.Tape] = p.req.Arrival
+		}
+	}
+	best := int64(0)
+	for serial := range count {
+		if best == 0 {
+			best = serial
+			continue
+		}
+		switch {
+		case count[serial] > count[best]:
+			best = serial
+		case count[serial] == count[best] && oldest[serial] < oldest[best]:
+			best = serial
+		case count[serial] == count[best] && oldest[serial] == oldest[best] && serial < best:
+			best = serial
+		}
+	}
+	return best
+}
+
+// splitBatch removes up to limit visible requests for the chosen
+// cartridge from the queue head region.
+func splitBatch(queue []pending, visible int, serial int64, limit int) (batch, rest []pending) {
+	for i, p := range queue {
+		if i < visible && p.obj.Tape == serial && (limit <= 0 || len(batch) < limit) {
+			batch = append(batch, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	return batch, rest
+}
+
+// serveBatch mounts the cartridge (if needed), schedules the batch
+// with the policy, executes it on the emulated drive, rewinds and
+// keeps the cartridge mounted for a possible next batch. It returns
+// the completions and the busy time consumed.
+func (l *Library) serveBatch(d *driveState, serial int64, start float64, batch []pending) ([]Completion, float64, float64, error) {
+	busy := 0.0
+	if d.mounted != serial {
+		if d.mounted != 0 {
+			// Rewind (the drive charges it) and unload.
+			busy += d.dev.Rewind() + l.cfg.UnmountSec
+		}
+		busy += l.cfg.MountSec
+		d.dev = drive.New(l.tapes[serial])
+		d.mounted = serial
+	}
+	d.dev.ResetClock()
+
+	// One scheduling problem per distinct extent length: the paper's
+	// model schedules fixed-size requests; mixed sizes are served
+	// size class by size class, largest batch first.
+	byLen := make(map[int][]pending)
+	for _, p := range batch {
+		byLen[p.obj.segments()] = append(byLen[p.obj.segments()], p)
+	}
+	var lens []int
+	for k := range byLen {
+		lens = append(lens, k)
+	}
+	sort.Slice(lens, func(i, j int) bool { return len(byLen[lens[i]]) > len(byLen[lens[j]]) })
+
+	model := l.models[serial]
+	var completions []Completion
+	for _, rl := range lens {
+		group := byLen[rl]
+		reqs := make([]int, len(group))
+		byStart := make(map[int][]pending)
+		for i, p := range group {
+			reqs[i] = p.obj.Start
+			byStart[p.obj.Start] = append(byStart[p.obj.Start], p)
+		}
+		prob := &core.Problem{Start: d.dev.Position(), Requests: reqs, ReadLen: rl, Cost: model}
+		plan, err := l.sched.Schedule(prob)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if plan.WholeTape {
+			elapsed, err := d.dev.ReadEntireTape()
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			// Every request in this size class completes by the end
+			// of the pass.
+			for _, p := range group {
+				completions = append(completions, Completion{
+					Request: p.req, Object: p.obj, Done: start + busy + elapsed, DriveID: d.id,
+				})
+			}
+			busy += elapsed
+			continue
+		}
+		for _, lbn := range plan.Order {
+			lt, err := d.dev.Locate(lbn)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			rt, err := d.dev.Read(rl)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			busy += lt + rt
+			ps := byStart[lbn]
+			p := ps[0]
+			byStart[lbn] = ps[1:]
+			completions = append(completions, Completion{
+				Request: p.req, Object: p.obj, Done: start + busy, DriveID: d.id,
+			})
+		}
+	}
+	passes := d.dev.Stats().HeadPasses(l.cfg.Profile)
+	return completions, busy, passes, nil
+}

@@ -1,0 +1,249 @@
+// Package textplot renders small ASCII line/scatter charts for the
+// experiment binaries: the paper's figures are plots, and a
+// reproduction that can only print tables makes the shapes (the
+// Figure 1 sawtooth, the Figure 4 crossovers) hard to eyeball. The
+// output is deliberately plain: a fixed-size character grid, linear
+// or log-x axes, one mark character per series.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one plotted curve.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Mark is the character drawn for the series' points.
+	Mark byte
+	// X and Y are the sample coordinates; lengths must match.
+	X, Y []float64
+}
+
+// Plot describes one chart.
+type Plot struct {
+	// Title is printed above the grid.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Width and Height are the grid dimensions in characters;
+	// defaults 72x20.
+	Width, Height int
+	// LogX plots the x axis on a log10 scale (schedule lengths).
+	LogX bool
+	// Connect draws crude vertical interpolation between adjacent
+	// samples of a series, making sawtooths and curves readable.
+	Connect bool
+	// Series are the curves.
+	Series []Series
+}
+
+// Render writes the chart.
+func (p *Plot) Render(w io.Writer) error {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	if len(p.Series) == 0 {
+		return fmt.Errorf("textplot: no series")
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("textplot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x := p.xval(s.X[i])
+			if math.IsNaN(x) {
+				return fmt.Errorf("textplot: series %q: non-positive x with LogX", s.Name)
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("textplot: no data points")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	for _, s := range p.Series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		prevC, prevR := -1, -1
+		for i := range s.X {
+			c := col(p.xval(s.X[i]))
+			r := row(s.Y[i])
+			if p.Connect && prevC >= 0 {
+				connect(grid, prevC, prevR, c, r, mark)
+			}
+
+			grid[r][c] = mark
+			prevC, prevR = c, r
+		}
+	}
+
+	if p.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", p.Title); err != nil {
+			return err
+		}
+	}
+	yLo, yHi := formatAxis(ymin), formatAxis(ymax)
+	for r, line := range grid {
+		label := strings.Repeat(" ", 10)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10s", yHi)
+		case height - 1:
+			label = fmt.Sprintf("%10s", yLo)
+		case height / 2:
+			if p.YLabel != "" {
+				l := p.YLabel
+				if len(l) > 10 {
+					l = l[:10]
+				}
+				label = fmt.Sprintf("%10s", l)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	xl := formatAxis(p.unxval(xmin))
+	xr := formatAxis(p.unxval(xmax))
+	mid := p.XLabel
+	pad := width - len(xl) - len(xr) - len(mid)
+	if pad < 2 {
+		mid = ""
+		pad = width - len(xl) - len(xr)
+		if pad < 0 {
+			pad = 0
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s  %s%s%s%s%s\n", "",
+		xl, strings.Repeat(" ", pad/2), mid, strings.Repeat(" ", pad-pad/2), xr); err != nil {
+		return err
+	}
+	// Legend.
+	var legend []string
+	for _, s := range p.Series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", mark, s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%10s  %s\n", "", strings.Join(legend, "  "))
+	return err
+}
+
+// xval maps an x coordinate onto the plotting scale.
+func (p *Plot) xval(x float64) float64 {
+	if !p.LogX {
+		return x
+	}
+	if x <= 0 {
+		return math.NaN()
+	}
+	return math.Log10(x)
+}
+
+// unxval inverts xval for axis labels.
+func (p *Plot) unxval(x float64) float64 {
+	if !p.LogX {
+		return x
+	}
+	return math.Pow(10, x)
+}
+
+// connect draws a crude line between two grid cells: step along the
+// longer axis, interpolating the other, so adjacent samples read as a
+// curve rather than isolated dots. Cells already holding another mark
+// are not overwritten.
+func connect(grid [][]byte, c0, r0, c1, r1 int, mark byte) {
+	dc, dr := c1-c0, r1-r0
+	steps := max(absInt(dc), absInt(dr))
+	if steps == 0 {
+		return
+	}
+	for i := 1; i < steps; i++ {
+		c := c0 + dc*i/steps
+		r := r0 + dr*i/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = mark
+		}
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// formatAxis prints an axis value compactly.
+func formatAxis(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

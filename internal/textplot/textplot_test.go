@@ -1,0 +1,128 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, p *Plot) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRenderBasics(t *testing.T) {
+	p := &Plot{
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "up", Mark: 'u', X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Name: "down", Mark: 'd', X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+		},
+	}
+	out := render(t, p)
+	for _, want := range []string{"demo", "u=up", "d=down", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Rising series: 'u' should appear in both the top and bottom rows.
+	lines := strings.Split(out, "\n")
+	grid := lines[1 : len(lines)-4]
+	if !strings.Contains(grid[0], "u") || !strings.Contains(grid[len(grid)-1], "u") {
+		t.Fatalf("rising series should span the grid:\n%s", out)
+	}
+	// And 'd' too, mirrored.
+	if !strings.Contains(grid[0], "d") || !strings.Contains(grid[len(grid)-1], "d") {
+		t.Fatalf("falling series should span the grid:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if err := (&Plot{}).Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty plot accepted")
+	}
+	bad := &Plot{Series: []Series{{X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	logBad := &Plot{LogX: true, Series: []Series{{X: []float64{0}, Y: []float64{1}}}}
+	if err := logBad.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("non-positive x with LogX accepted")
+	}
+	empty := &Plot{Series: []Series{{Name: "e"}}}
+	if err := empty.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// A single point and constant series must not divide by zero.
+	p := &Plot{Series: []Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}}
+	out := render(t, p)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+	flat := &Plot{Series: []Series{{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{4, 4, 4}}}}
+	render(t, flat)
+}
+
+func TestLogXCompressesDecades(t *testing.T) {
+	p := &Plot{
+		Width: 60, LogX: true,
+		Series: []Series{{Name: "s", X: []float64{1, 10, 100, 1000}, Y: []float64{1, 2, 3, 4}}},
+	}
+	out := render(t, p)
+	// On a log axis the four decade points are evenly spaced: the
+	// mark columns in consecutive rows should step by ~width/3.
+	var cols []int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "+--") {
+			break // grid ends at the axis; the legend also holds a '*'
+		}
+		if i := strings.IndexByte(line, '*'); i >= 0 {
+			cols = append(cols, i)
+		}
+	}
+	if len(cols) != 4 {
+		t.Fatalf("want 4 marks, got %d:\n%s", len(cols), out)
+	}
+	d1 := cols[1] - cols[0]
+	d2 := cols[2] - cols[1]
+	// Rows print top (largest y) first, so columns descend; spacing
+	// magnitude should be roughly equal.
+	if absInt(absInt(d1)-absInt(d2)) > 3 {
+		t.Fatalf("log spacing uneven: %v", cols)
+	}
+}
+
+func TestConnectDrawsBetweenSamples(t *testing.T) {
+	p := &Plot{
+		Width: 40, Height: 11, Connect: true,
+		Series: []Series{{Name: "line", X: []float64{0, 1}, Y: []float64{0, 10}}},
+	}
+	out := render(t, p)
+	marks := strings.Count(out, "*")
+	if marks < 10 {
+		t.Fatalf("connected line drew only %d cells:\n%s", marks, out)
+	}
+}
+
+func TestFormatAxis(t *testing.T) {
+	cases := map[float64]string{
+		123456: "1.23e+05",
+		250:    "250",
+		7.25:   "7.2",
+		0.031:  "0.03",
+	}
+	for in, want := range cases {
+		if got := formatAxis(in); got != want {
+			t.Errorf("formatAxis(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

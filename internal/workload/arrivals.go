@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"serpentine/internal/rand48"
+)
+
+// PoissonArrivals returns n arrival times (seconds, ascending) of a
+// Poisson process with the given mean rate (events per second),
+// generated from the same lrand48 stream as everything else:
+// exponential inter-arrival gaps by inversion. Online tertiary
+// storage studies need an arrival process — batching trades response
+// time against throughput, and that trade only exists under arrivals
+// spread over time.
+func PoissonArrivals(ratePerSec float64, n int, seed int64) ([]float64, error) {
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("workload: Poisson rate must be positive, got %g", ratePerSec)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative event count %d", n)
+	}
+	rng := rand48.New(seed)
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		u := rng.Drand48()
+		for u == 0 {
+			u = rng.Drand48()
+		}
+		t += -math.Log(u) / ratePerSec
+		out[i] = t
+	}
+	return out, nil
+}

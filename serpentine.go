@@ -1,0 +1,212 @@
+// Package serpentine schedules batches of random I/O requests on
+// serpentine-track tape drives, reproducing and extending
+//
+//	Bruce K. Hillyer and Avi Silberschatz,
+//	"Random I/O Scheduling in Online Tertiary Storage Systems",
+//	SIGMOD 1996.
+//
+// Serpentine tape (Quantum DLT, IBM 3480/3590) records tracks back
+// and forth along the tape, so logical block numbers bear a complex,
+// non-monotonic relationship to physical position and to the time the
+// drive needs to move between blocks. Unscheduled, a DLT4000 delivers
+// about 50 random retrievals per hour; with the scheduling in this
+// package the same drive delivers 93 (OPT, batches of 10), 124 (LOSS,
+// batches of 96) to 285 (LOSS, batches of 1024) retrievals per hour,
+// and past ~1536 pending requests it is fastest to read the entire
+// tape.
+//
+// # Quick start
+//
+//	profile := serpentine.DLT4000()
+//	tape, _ := serpentine.NewTape(profile, 42)  // synthesize a cartridge
+//	model, _ := serpentine.ExactModel(tape)     // or Characterize a drive
+//	sched, _ := serpentine.NewScheduler("LOSS")
+//	p := &serpentine.Problem{
+//		Start:    0,
+//		Requests: []int{101_000, 7_500, 441_217, 312_024},
+//		Cost:     model,
+//	}
+//	plan, _ := sched.Schedule(p)
+//	secs := plan.Estimate(p).Total() // estimated execution seconds
+//
+// The package is organized as a facade over focused internal
+// packages: geometry (serpentine layout, synthetic cartridges, key
+// points), locate (the locate-time model), core (the eight scheduling
+// algorithms), drive (an emulated DLT4000 for validation), calibrate
+// (key-point discovery by timing measurements), workload, sim (the
+// paper's experiments) and tertiary (a multi-tape online store).
+// Everything here is a re-export; external users need only this
+// package, while the experiment binaries under cmd/ and the examples
+// reach the same types.
+package serpentine
+
+import (
+	"serpentine/internal/calibrate"
+	"serpentine/internal/core"
+	"serpentine/internal/drive"
+	"serpentine/internal/geometry"
+	"serpentine/internal/locate"
+	"serpentine/internal/tertiary"
+	"serpentine/internal/workload"
+)
+
+// Profile describes a serpentine drive/cartridge format: geometry
+// (tracks, sections, segments) and transport timing.
+type Profile = geometry.Params
+
+// DLT4000 is the paper's device: 64 tracks x 14 sections, 622k
+// segments of 32 KB, 1.5 MB/s, locates of up to ~180 s.
+func DLT4000() Profile { return geometry.DLT4000() }
+
+// DLT7000 is a faster, denser profile (5.2 MB/s class).
+func DLT7000() Profile { return geometry.DLT7000() }
+
+// IBM3590 is a fast-transport profile (9 MB/s class).
+func IBM3590() Profile { return geometry.IBM3590() }
+
+// Tape is one synthetic cartridge: the ground truth a Drive positions
+// over. Host software sees it only through key points.
+type Tape = geometry.Tape
+
+// NewTape synthesizes a cartridge; the same (profile, serial) pair
+// always yields the same tape.
+func NewTape(p Profile, serial int64) (*Tape, error) { return geometry.Generate(p, serial) }
+
+// KeyPoints is a tape characterization: the per-track section
+// boundary segment numbers that parameterize the locate model.
+type KeyPoints = geometry.KeyPointTable
+
+// Model estimates locate times; it is the "essential ingredient for
+// scheduling".
+type Model = locate.Model
+
+// NewModel builds the host-side model from a characterization.
+func NewModel(kp *KeyPoints) (*Model, error) { return locate.FromKeyPoints(kp) }
+
+// ExactModel builds a model from a tape's true key points, as if the
+// characterization were perfect. Production systems should
+// Characterize a real (or emulated) drive instead.
+func ExactModel(t *Tape) (*Model, error) { return locate.FromKeyPoints(t.KeyPoints()) }
+
+// Cost is the estimator interface schedulers consume; *Model
+// implements it.
+type Cost = locate.Cost
+
+// Breakdown itemizes an estimated schedule execution.
+type Breakdown = locate.Breakdown
+
+// Problem is one scheduling instance: initial head position, request
+// list, optional per-request transfer length, and the cost model.
+type Problem = core.Problem
+
+// Plan is a scheduler's output: the retrieval order, or a whole-tape
+// pass.
+type Plan = core.Plan
+
+// Scheduler orders a problem's requests.
+type Scheduler = core.Scheduler
+
+// NewScheduler returns a scheduler by name: READ, FIFO, OPT, SORT,
+// SLTF, SLTF-C, SCAN, WEAVE, LOSS, LOSS-C, LOSS-SPARSE or AUTO.
+func NewScheduler(name string) (Scheduler, error) { return core.ByName(name) }
+
+// Schedulers returns one instance of every algorithm the paper
+// evaluates, with OPT limited to optLimit requests.
+func Schedulers(optLimit int) []Scheduler { return core.All(optLimit) }
+
+// Auto is the paper's recommended policy: OPT up to 10 requests, LOSS
+// beyond, READ when a whole-tape pass is estimated faster.
+func Auto() Scheduler { return core.NewAuto() }
+
+// CheckPermutation verifies that order retrieves exactly the
+// requested segments.
+func CheckPermutation(requests, order []int) error {
+	return core.CheckPermutation(requests, order)
+}
+
+// Drive is an emulated serpentine tape drive with a loaded cartridge:
+// a virtual-time device whose true positioning behaviour deviates
+// from the host model the way real hardware does.
+type Drive = drive.Drive
+
+// DriveOption configures an emulated drive.
+type DriveOption = drive.Option
+
+// WithoutNoise disables the drive's measurement noise.
+func WithoutNoise() DriveOption { return drive.WithoutNoise() }
+
+// WithNoiseSeed seeds the drive's measurement noise.
+func WithNoiseSeed(seed int64) DriveOption { return drive.WithNoiseSeed(seed) }
+
+// NewDrive loads a cartridge into a fresh emulated drive.
+func NewDrive(t *Tape, opts ...DriveOption) *Drive { return drive.New(t, opts...) }
+
+// Calibration is a completed tape characterization run.
+type Calibration = calibrate.Result
+
+// Characterize discovers a cartridge's key points by timing locate
+// operations against the drive, per [HS96].
+func Characterize(d *Drive) (*Calibration, error) {
+	return calibrate.Calibrate(d, calibrate.Options{})
+}
+
+// Workload generators.
+type (
+	// Generator produces batches of distinct request segments.
+	Generator = workload.Generator
+	// UniformWorkload is the paper's uniform request distribution.
+	UniformWorkload = workload.Uniform
+	// ZipfWorkload draws requests with skewed extent popularity.
+	ZipfWorkload = workload.Zipf
+	// ClusteredWorkload draws requests in correlated bursts.
+	ClusteredWorkload = workload.Clustered
+)
+
+// NewUniformWorkload returns the paper's workload over total
+// segments.
+func NewUniformWorkload(total int, seed int64) *UniformWorkload {
+	return workload.NewUniform(total, seed)
+}
+
+// NewZipfWorkload returns a skewed workload (see workload.NewZipf).
+func NewZipfWorkload(total int, seed int64, skew float64, extent int) *ZipfWorkload {
+	return workload.NewZipf(total, seed, skew, extent)
+}
+
+// NewClusteredWorkload returns a bursty workload (see
+// workload.NewClustered).
+func NewClusteredWorkload(total int, seed int64, perBurst, spread int) *ClusteredWorkload {
+	return workload.NewClustered(total, seed, perBurst, spread)
+}
+
+// PoissonArrivals returns n ascending arrival times (seconds) of a
+// Poisson process with the given mean rate, for driving online
+// workloads against a Library.
+func PoissonArrivals(ratePerSec float64, n int, seed int64) ([]float64, error) {
+	return workload.PoissonArrivals(ratePerSec, n, seed)
+}
+
+// Online tertiary store: a robot library of tapes served by a drive
+// pool with batched, scheduled retrievals.
+type (
+	// Library is the multi-tape online store.
+	Library = tertiary.Library
+	// LibraryConfig describes a library.
+	LibraryConfig = tertiary.Config
+	// Catalog maps object IDs to tape extents.
+	Catalog = tertiary.Catalog
+	// Object is one catalog entry.
+	Object = tertiary.Object
+	// ObjectRequest is one read of a cataloged object.
+	ObjectRequest = tertiary.Request
+	// ObjectCompletion reports one served request.
+	ObjectCompletion = tertiary.Completion
+	// LibraryMetrics summarizes a library run.
+	LibraryMetrics = tertiary.Metrics
+)
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return tertiary.NewCatalog() }
+
+// NewLibrary builds an online tertiary store.
+func NewLibrary(cfg LibraryConfig, c *Catalog) (*Library, error) { return tertiary.New(cfg, c) }

@@ -1,0 +1,167 @@
+package serpentine_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"serpentine"
+)
+
+// The full public-API workflow: synthesize a cartridge, build a
+// model, schedule a batch, execute it on the emulated drive.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tape, err := serpentine.NewTape(serpentine.DLT4000(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := serpentine.ExactModel(tape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := serpentine.NewUniformWorkload(tape.Segments(), 9).Batch(48)
+	sched, err := serpentine.NewScheduler("LOSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &serpentine.Problem{Start: 0, Requests: batch, Cost: model}
+	plan, err := sched.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serpentine.CheckPermutation(batch, plan.Order); err != nil {
+		t.Fatal(err)
+	}
+	est := plan.Estimate(p).Total()
+
+	dev := serpentine.NewDrive(tape)
+	meas, err := dev.ExecuteOrder(plan.Order, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(est-meas) / meas; e > 0.03 {
+		t.Fatalf("estimate %.0f vs measured %.0f: %.1f%% off", est, meas, e*100)
+	}
+}
+
+func TestPublicProfiles(t *testing.T) {
+	for _, p := range []serpentine.Profile{serpentine.DLT4000(), serpentine.DLT7000(), serpentine.IBM3590()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if _, err := serpentine.NewTape(p, 1); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestPublicSchedulers(t *testing.T) {
+	if len(serpentine.Schedulers(10)) != 8 {
+		t.Fatal("Schedulers should return the paper's eight algorithms")
+	}
+	if _, err := serpentine.NewScheduler("BOGUS"); err == nil {
+		t.Fatal("bogus scheduler accepted")
+	}
+	if serpentine.Auto().Name() != "AUTO" {
+		t.Fatal("Auto name wrong")
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	const total = 100000
+	for _, g := range []serpentine.Generator{
+		serpentine.NewUniformWorkload(total, 1),
+		serpentine.NewZipfWorkload(total, 1, 0.9, 1024),
+		serpentine.NewClusteredWorkload(total, 1, 4, 512),
+	} {
+		b := g.Batch(32)
+		if len(b) != 32 {
+			t.Fatalf("%s: bad batch", g.Name())
+		}
+	}
+}
+
+func TestPublicLibrary(t *testing.T) {
+	profile := serpentine.DLT4000()
+	cat := serpentine.NewCatalog()
+	tape, err := serpentine.NewTape(profile, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := cat.Put(serpentine.Object{
+			ID:    fmt.Sprintf("obj%d", i),
+			Tape:  500,
+			Start: i * tape.Segments() / 8,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib, err := serpentine.NewLibrary(serpentine.LibraryConfig{
+		Profile: profile,
+		Tapes:   []int64{500},
+	}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []serpentine.ObjectRequest
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, serpentine.ObjectRequest{ObjectID: fmt.Sprintf("obj%d", i)})
+	}
+	done, m, err := lib.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 8 || m.Served != 8 {
+		t.Fatalf("served %d of 8", len(done))
+	}
+}
+
+// Characterize is the expensive path; exercise it on a smaller
+// profile via the drive directly to keep the test quick.
+func TestPublicCharacterize(t *testing.T) {
+	profile := serpentine.IBM3590()
+	tape, err := serpentine.NewTape(profile, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := serpentine.NewDrive(tape, serpentine.WithoutNoise())
+	cal, err := serpentine.Characterize(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Locates == 0 || cal.TapeSeconds <= 0 {
+		t.Fatal("calibration accounting empty")
+	}
+	model, err := serpentine.NewModel(cal.KeyPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := serpentine.ExactModel(tape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := serpentine.NewUniformWorkload(tape.Segments(), 2)
+	for i := 0; i < 200; i++ {
+		pair := gen.Batch(2)
+		d := math.Abs(model.LocateTime(pair[0], pair[1]) - exact.LocateTime(pair[0], pair[1]))
+		if d > 1.5 {
+			t.Fatalf("discovered model off by %.2f s", d)
+		}
+	}
+}
+
+// Example-style documentation test.
+func ExampleNewScheduler() {
+	tape, _ := serpentine.NewTape(serpentine.DLT4000(), 7)
+	model, _ := serpentine.ExactModel(tape)
+	sched, _ := serpentine.NewScheduler("AUTO")
+	p := &serpentine.Problem{
+		Start:    0,
+		Requests: []int{400000, 100, 250000},
+		Cost:     model,
+	}
+	plan, _ := sched.Schedule(p)
+	fmt.Println(plan.Order)
+	// Output: [100 250000 400000]
+}
