@@ -1,0 +1,41 @@
+# Tier-1 verification and benchmark evidence for the serpentine
+# simulator. `make verify` is the gate every change must pass;
+# `make bench` regenerates the committed benchmark evidence.
+
+GO      ?= go
+BENCH_OUT ?= BENCH_PR1.json
+BENCH_TXT ?= bench.txt
+
+.PHONY: verify test vet race bench bench-json clean
+
+# Tier-1 verify: build, vet, full test suite, and the race detector
+# over the parallel simulator.
+verify: vet
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/sim/...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/sim/...
+
+# Run the performance-critical benchmarks with allocation reporting:
+# the scheduler suite, the locate-model fast path, and the root-level
+# figure benchmarks that exercise the whole pipeline.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkScheduler' -benchmem ./internal/core | tee $(BENCH_TXT)
+	$(GO) test -run '^$$' -bench 'BenchmarkCostMatrix' -benchmem ./internal/locate | tee -a $(BENCH_TXT)
+	$(GO) test -run '^$$' -bench 'BenchmarkFig4RandomStart|BenchmarkLocateTime' -benchmem . | tee -a $(BENCH_TXT)
+
+# Convert the captured text into committed JSON evidence.
+bench-json: bench
+	$(GO) run ./cmd/benchjson < $(BENCH_TXT) > $(BENCH_OUT)
+	rm -f $(BENCH_TXT)
+
+clean:
+	rm -f $(BENCH_TXT)

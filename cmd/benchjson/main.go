@@ -1,0 +1,94 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document, so benchmark evidence can be committed and
+// compared across revisions without scraping free-form text.
+//
+//	go test -bench . -benchmem ./... | benchjson > BENCH.json
+//
+// Each benchmark line ("BenchmarkX-8  100  123 ns/op  4 B/op  1
+// allocs/op") becomes one record carrying the package and cpu lines
+// most recently seen above it; every "value unit" pair after the
+// iteration count is kept as a metric, so custom b.ReportMetric units
+// survive.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Go         string      `json:"go,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "goarch: "), strings.HasPrefix(line, "goos: "):
+			// Not recorded: the committed evidence should not churn
+			// across otherwise-identical runs on the same platform.
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBench(line)
+			if !ok {
+				continue
+			}
+			b.Package = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}
+
+// parseBench parses one benchmark output line: name, iteration count,
+// then (value, unit) pairs.
+func parseBench(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"serpentine/internal/geometry"
 )
 
@@ -39,17 +37,25 @@ func coalesceByThreshold(requests []int, threshold int) []group {
 	if len(requests) == 0 {
 		return nil
 	}
-	s := sortedCopy(requests)
-	groups := []group{{segs: []int{s[0]}}}
-	for _, seg := range s[1:] {
-		cur := &groups[len(groups)-1]
-		if seg-cur.last() < threshold {
-			cur.segs = append(cur.segs, seg)
-		} else {
-			groups = append(groups, group{segs: []int{seg}})
+	return coalesceSortedRuns(sortedCopy(requests), threshold, nil)
+}
+
+// coalesceSortedRuns is the allocation-free core of
+// coalesceByThreshold: sorted is already ascending and each group is
+// a subslice of it, appended to out. The sorted backing must stay
+// alive (and unmodified) as long as the groups are used.
+func coalesceSortedRuns(sorted []int, threshold int, out []group) []group {
+	start := 0
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i]-sorted[i-1] >= threshold {
+			out = append(out, group{segs: sorted[start:i]})
+			start = i
 		}
 	}
-	return groups
+	if len(sorted) > 0 {
+		out = append(out, group{segs: sorted[start:]})
+	}
+	return out
 }
 
 // coalesceBySection buckets requests into one group per non-empty
@@ -58,23 +64,29 @@ func coalesceByThreshold(requests []int, threshold int) []group {
 // section, reading ahead in segment order is always the nearest move,
 // so a section's requests are always consumed together.
 func coalesceBySection(view *geometry.View, requests []int) []group {
-	buckets := make(map[int][]int)
-	for _, r := range requests {
-		idx := view.SectionIndex(r)
-		buckets[idx] = append(buckets[idx], r)
+	return coalesceSectionRuns(view, sortedCopy(requests), nil)
+}
+
+// coalesceSectionRuns is the allocation-free core of
+// coalesceBySection. The section index is nondecreasing in segment
+// number (sections are contiguous segment ranges in track order), so
+// each section's requests are one contiguous run of the sorted slice
+// and the runs emerge already ordered by section index.
+func coalesceSectionRuns(view *geometry.View, sorted []int, out []group) []group {
+	start, cur := 0, -1
+	for i, seg := range sorted {
+		idx := view.SectionIndex(seg)
+		if idx != cur {
+			if i > start {
+				out = append(out, group{segs: sorted[start:i]})
+			}
+			start, cur = i, idx
+		}
 	}
-	keys := make([]int, 0, len(buckets))
-	for k := range buckets {
-		keys = append(keys, k)
+	if len(sorted) > start {
+		out = append(out, group{segs: sorted[start:]})
 	}
-	sort.Ints(keys)
-	groups := make([]group, 0, len(keys))
-	for _, k := range keys {
-		segs := buckets[k]
-		sort.Ints(segs)
-		groups = append(groups, group{segs: segs})
-	}
-	return groups
+	return out
 }
 
 // expandGroups flattens an ordering of groups back into a segment

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+
+	"serpentine/internal/locate"
 )
 
 // LOSS is the paper's recommended algorithm for batches larger than
@@ -45,7 +48,26 @@ func (l LOSS) Name() string {
 }
 
 // maxLOSSCities bounds the dense cost matrix ((k+1)^2 float64s).
+// Batches that coalesce to more cities than this fall back to
+// SparseLOSS, whose contraction rounds keep memory linear.
 const maxLOSSCities = 8192
+
+// lossArena is the reusable working state of one dense LOSS run; see
+// arena.go for the pooling rationale.
+type lossArena struct {
+	state lossState
+	segs  []int // request copy backing the group subslices
+	grp   []group
+	split []group
+	order []group
+	srcs  []int
+	dsts  []int
+	w     []float64
+	back  []int32
+	keys  []float64
+}
+
+var lossPool = sync.Pool{New: func() any { return new(lossArena) }}
 
 // Schedule runs the greedy loss selection over the request groups.
 func (l LOSS) Schedule(p *Problem) (Plan, error) {
@@ -55,33 +77,55 @@ func (l LOSS) Schedule(p *Problem) (Plan, error) {
 	if len(p.Requests) == 0 {
 		return Plan{}, nil
 	}
+	a := lossPool.Get().(*lossArena)
 	var groups []group
 	if l.threshold > 0 {
-		groups = splitAtStart(coalesceByThreshold(p.Requests, l.threshold), p.Start)
+		a.segs = append(a.segs[:0], p.Requests...)
+		sortInts(a.segs)
+		a.grp = coalesceSortedRuns(a.segs, l.threshold, a.grp[:0])
+		a.split = splitAtStartInto(a.grp, p.Start, a.split[:0])
+		groups = a.split
 	} else {
-		groups = make([]group, len(p.Requests))
-		for i, r := range p.Requests {
-			groups[i] = group{segs: []int{r}}
+		// Plain LOSS: every request is its own city, in request order.
+		a.segs = append(a.segs[:0], p.Requests...)
+		a.grp = grown(a.grp, len(a.segs))
+		for i := range a.segs {
+			a.grp[i] = group{segs: a.segs[i : i+1]}
 		}
+		groups = a.grp
 	}
 	if len(groups)+1 > maxLOSSCities {
-		return Plan{}, fmt.Errorf("core: LOSS instance has %d cities (max %d); use coalescing", len(groups)+1, maxLOSSCities)
+		// The dense matrix would be too large; hand the batch to the
+		// sparse-graph variant, which solves the same instance in
+		// linear memory (the groups rebuild from p.Requests).
+		lossPool.Put(a)
+		return SparseLOSS{Threshold: l.threshold}.Schedule(p)
 	}
-	order, err := lossPath(p, groups)
+	order, err := lossPath(p, groups, a)
 	if err != nil {
+		lossPool.Put(a)
 		return Plan{}, err
 	}
-	return Plan{Order: expandGroups(order, len(p.Requests))}, nil
+	out := make([]int, 0, len(p.Requests))
+	for _, g := range order {
+		out = append(out, g.segs...)
+	}
+	lossPool.Put(a)
+	return Plan{Order: out}, nil
 }
 
 // lossState carries the incremental machinery of one greedy loss run.
 // Cities are numbered 0..n-1: city 0 is the initial head position
 // (outgoing side only), the rest are retrieval units. The candidate
 // lists may be complete (dense LOSS) or restricted (SparseLOSS).
+// Weights come either from the dense matrix w (stride n-1, entry
+// (i, j) at i*(n-1)+j-1; column city 0 has no in-edges and needs no
+// column) or from weightFn.
 type lossState struct {
-	n      int // city count including city 0
-	weight func(i, j int32) float64
-	next   []int32 // chosen successor per city, -1 if none
+	n        int // city count including city 0
+	w        []float64
+	weightFn func(i, j int32) float64
+	next     []int32 // chosen successor per city, -1 if none
 
 	availOut []bool
 	availIn  []bool
@@ -98,59 +142,116 @@ type lossState struct {
 	// Path fragments, union-find with tail tracking.
 	parent []int32
 	tail   []int32
+
+	// Radix-sort scratch for candidate list construction.
+	pairs []kvPair
+	tmp   []kvPair
 }
 
-// newLossState initializes the shared machinery. weight(i, j) is the
-// cost of traveling from city i to city j.
+// newLossState initializes the shared machinery with freshly
+// allocated state. weight(i, j) is the cost of traveling from city i
+// to city j. The arena path uses lossState.reset instead.
 func newLossState(n int, weight func(i, j int32) float64) *lossState {
-	s := &lossState{
-		n:         n,
-		weight:    weight,
-		next:      make([]int32, n),
-		availOut:  make([]bool, n),
-		availIn:   make([]bool, n),
-		sortedOut: make([][]int32, n),
-		sortedIn:  make([][]int32, n),
-		ptrOut:    make([]int, n),
-		ptrIn:     make([]int, n),
-		parent:    make([]int32, n),
-		tail:      make([]int32, n),
-	}
-	for c := int32(0); c < int32(n); c++ {
+	s := &lossState{}
+	s.reset(n)
+	s.weightFn = weight
+	return s
+}
+
+// reset prepares the state for an n-city run, reusing prior backing
+// arrays when they are large enough.
+func (s *lossState) reset(n int) {
+	s.n = n
+	s.w = nil
+	s.weightFn = nil
+	s.next = grown(s.next, n)
+	s.availOut = grown(s.availOut, n)
+	s.availIn = grown(s.availIn, n)
+	s.sortedOut = grown(s.sortedOut, n)
+	s.sortedIn = grown(s.sortedIn, n)
+	s.ptrOut = grown(s.ptrOut, n)
+	s.ptrIn = grown(s.ptrIn, n)
+	s.parent = grown(s.parent, n)
+	s.tail = grown(s.tail, n)
+	s.pairs = grown(s.pairs, n)
+	s.tmp = grown(s.tmp, n)
+	for c := 0; c < n; c++ {
 		s.next[c] = -1
 		s.availOut[c] = true
 		s.availIn[c] = c != 0 // city 0 never receives an in-edge
-		s.parent[c] = c
-		s.tail[c] = c
+		s.sortedOut[c] = nil
+		s.sortedIn[c] = nil
+		s.ptrOut[c] = 0
+		s.ptrIn[c] = 0
+		s.parent[c] = int32(c)
+		s.tail[c] = int32(c)
 	}
-	return s
+}
+
+// weight returns the cost of traveling from city i to city j (j > 0).
+func (s *lossState) weight(i, j int32) float64 {
+	if s.w != nil {
+		return s.w[int(i)*(s.n-1)+int(j)-1]
+	}
+	return s.weightFn(i, j)
+}
+
+// sortIdx orders a candidate list ascending by (key, index): radix
+// for long lists, comparison sort for short ones. Both produce the
+// identical ordering.
+func (s *lossState) sortIdx(lst []int32, key []float64) {
+	if n := len(lst); n >= 96 && len(s.pairs) >= n {
+		radixSortIdx(lst, key, s.pairs[:n], s.tmp[:n])
+		return
+	}
+	sortIdxByKey(lst, key)
 }
 
 // denseCandidates fills complete candidate lists: every city pair is
 // an edge, as in the paper's primary LOSS formulation.
 func (s *lossState) denseCandidates() {
+	k := s.n - 1
+	s.denseCandidatesInto(make([]int32, 2*s.n*k), make([]float64, s.n))
+}
+
+// denseCandidatesInto is denseCandidates with caller-provided
+// backing: back holds all 2n(n-1) candidate entries (out rows then in
+// rows, stride n-1), keyBuf holds n sort keys. Each list is a
+// capacity-clamped subslice of back, so a bug cannot overflow into a
+// neighboring row.
+func (s *lossState) denseCandidatesInto(back []int32, keyBuf []float64) {
 	n := s.n
+	k := n - 1
 	for i := 0; i < n; i++ {
-		out := make([]int32, 0, n-1)
+		off := i * k
+		lst := back[off : off : off+k]
 		for j := 1; j < n; j++ {
 			if j != i {
-				out = append(out, int32(j))
+				lst = append(lst, int32(j))
 			}
 		}
-		ii := int32(i)
-		sort.Slice(out, func(a, b int) bool { return s.weight(ii, out[a]) < s.weight(ii, out[b]) })
-		s.sortedOut[i] = out
+		for j := 1; j < n; j++ {
+			keyBuf[j] = s.weight(int32(i), int32(j))
+		}
+		s.sortIdx(lst, keyBuf)
+		s.sortedOut[i] = lst
 	}
+	inBack := back[n*k:]
 	for j := 1; j < n; j++ {
-		in := make([]int32, 0, n-1)
+		off := (j - 1) * k
+		lst := inBack[off : off : off+k]
 		for i := 0; i < n; i++ {
 			if i != j {
-				in = append(in, int32(i))
+				lst = append(lst, int32(i))
 			}
 		}
-		jj := int32(j)
-		sort.Slice(in, func(a, b int) bool { return s.weight(in[a], jj) < s.weight(in[b], jj) })
-		s.sortedIn[j] = in
+		for i := 0; i < n; i++ {
+			if i != j {
+				keyBuf[i] = s.weight(int32(i), int32(j))
+			}
+		}
+		s.sortIdx(lst, keyBuf)
+		s.sortedIn[j] = lst
 	}
 }
 
@@ -310,7 +411,7 @@ func (s *lossState) fragments() [][]int32 {
 	for c := range isHead {
 		isHead[c] = true
 	}
-	for _, nx := range s.next {
+	for _, nx := range s.next[:s.n] {
 		if nx >= 0 {
 			isHead[nx] = false
 		}
@@ -334,46 +435,48 @@ func (s *lossState) fragments() [][]int32 {
 }
 
 // lossPath builds the retrieval order of groups with the dense
-// (complete-digraph) LOSS algorithm.
-func lossPath(p *Problem, groups []group) ([]group, error) {
+// (complete-digraph) LOSS algorithm, drawing all working state from
+// the arena. The returned slice is arena-backed; callers copy out of
+// it before releasing the arena.
+func lossPath(p *Problem, groups []group, a *lossArena) ([]group, error) {
 	k := len(groups)
 	if k == 1 {
-		return groups, nil
+		a.order = append(a.order[:0], groups[0])
+		return a.order, nil
 	}
 	n := k + 1
-	// Dense weight matrix: w[i*n+j] = locate(out_i, in_j). The out
-	// point of city 0 is the head start; the out point of a group
-	// city is the head position after reading its last segment; the
-	// in point is its first segment. Read times are order-independent
-	// and excluded.
-	w := make([]float64, n*n)
-	outPos := make([]int, n)
-	inPos := make([]int, n)
-	outPos[0] = p.Start
+	// Dense weight matrix, batch-filled: w[i*k+(j-1)] =
+	// locate(out_i, in_j). The out point of city 0 is the head start;
+	// the out point of a group city is the head position after reading
+	// its last segment; the in point is its first segment. Read times
+	// are order-independent and excluded. City 0 takes no in-edge, so
+	// the matrix has no column for it; the diagonal is filled but
+	// never read (a city is not a candidate of itself).
+	a.srcs = grown(a.srcs, n)
+	a.dsts = grown(a.dsts, k)
+	a.srcs[0] = p.Start
 	for c := 1; c < n; c++ {
 		g := groups[c-1]
-		outPos[c] = p.headAfter(g.last())
-		inPos[c] = g.first()
+		a.srcs[c] = p.headAfter(g.last())
+		a.dsts[c-1] = g.first()
 	}
-	for i := 0; i < n; i++ {
-		for j := 1; j < n; j++ {
-			if i == j {
-				continue
-			}
-			w[i*n+j] = p.Cost.LocateTime(outPos[i], inPos[j])
-		}
-	}
-	s := newLossState(n, func(i, j int32) float64 { return w[int(i)*n+int(j)] })
-	s.denseCandidates()
+	a.w = grown(a.w, n*k)
+	locate.FillCostMatrix(p.Cost, a.w, a.srcs, a.dsts)
+	s := &a.state
+	s.reset(n)
+	s.w = a.w
+	a.back = grown(a.back, 2*n*k)
+	a.keys = grown(a.keys, n)
+	s.denseCandidatesInto(a.back, a.keys)
 	if got := s.run(k); got != k {
 		return nil, fmt.Errorf("core: LOSS stuck with %d/%d edges chosen", got, k)
 	}
-	order := make([]group, 0, k)
+	a.order = a.order[:0]
 	for c := s.next[0]; c >= 0; c = s.next[c] {
-		order = append(order, groups[c-1])
+		a.order = append(a.order, groups[c-1])
 	}
-	if len(order) != k {
-		return nil, fmt.Errorf("core: LOSS produced a broken path (%d of %d cities)", len(order), k)
+	if len(a.order) != k {
+		return nil, fmt.Errorf("core: LOSS produced a broken path (%d of %d cities)", len(a.order), k)
 	}
-	return order, nil
+	return a.order, nil
 }

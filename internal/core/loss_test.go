@@ -170,7 +170,9 @@ func TestLossRuleAvoidsForcedLongEdge(t *testing.T) {
 	// Total: 0->2 (2) + 2->1 (3) = 5, versus greedy 0->1->2 = 101.
 }
 
-// maxLOSSCities guard.
+// Above maxLOSSCities the dense matrix is off the table; plain LOSS
+// must degrade to the sparse-graph variant instead of erroring, and
+// still return a valid permutation.
 func TestLOSSTooManyCities(t *testing.T) {
 	m := testModel(t, 1)
 	reqs := make([]int, maxLOSSCities)
@@ -178,13 +180,38 @@ func TestLOSSTooManyCities(t *testing.T) {
 		reqs[i] = (i * 37) % m.Segments()
 	}
 	p := &Problem{Start: 0, Requests: reqs, Cost: m}
-	if _, err := NewLOSS().Schedule(p); err == nil {
-		t.Fatal("expected a too-many-cities error")
+	plan, err := NewLOSS().Schedule(p)
+	if err != nil {
+		t.Fatalf("LOSS should fall back to SparseLOSS above maxLOSSCities: %v", err)
 	}
-	// The coalesced variant handles the same batch.
+	if err := CheckPermutation(p.Requests, plan.Order); err != nil {
+		t.Fatal(err)
+	}
+	// The fallback must match what SparseLOSS produces directly: the
+	// batch is handed over wholesale, not truncated or reordered.
+	want, err := (SparseLOSS{}).Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slicesEqual(plan.Order, want.Order) {
+		t.Fatal("LOSS fallback plan differs from SparseLOSS plan")
+	}
+	// The coalesced variant handles the same batch densely.
 	if _, err := NewLOSSCoalesced(DefaultCoalesceThreshold).Schedule(p); err != nil {
 		t.Fatalf("coalesced LOSS should handle it: %v", err)
 	}
+}
+
+func slicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestLOSSNames(t *testing.T) {

@@ -1,0 +1,47 @@
+package core
+
+// Plan-identity harness: dumps an FNV-64a hash of every scheduler's
+// plan over a grid of problem sizes and seeds, so two revisions can be
+// diffed for byte-identical plans. Run with PLANSNAP=<outfile> on each
+// revision and diff the files; skipped in normal test runs.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"testing"
+)
+
+func TestDumpPlanHashes(t *testing.T) {
+	if os.Getenv("PLANSNAP") == "" {
+		t.Skip("set PLANSNAP=1 to dump plan hashes")
+	}
+	m := testModel(t, 1)
+	algs := []Scheduler{
+		NewLOSS(), NewSLTF(), Scan{}, Weave{},
+		NewLOSSCoalesced(DefaultCoalesceThreshold),
+		NewSLTFCoalesced(DefaultCoalesceThreshold),
+		NewSparseLOSS(), NewAuto(), Sort{}, FIFO{},
+	}
+	f, err := os.Create(os.Getenv("PLANSNAP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, n := range []int{1, 2, 3, 8, 16, 96, 128, 256, 1024} {
+		for seed := int64(1); seed <= 3; seed++ {
+			p := randomProblem(t, m, n, seed*7919+int64(n))
+			for _, alg := range algs {
+				plan, err := alg.Schedule(p)
+				if err != nil {
+					t.Fatalf("%s n=%d: %v", alg.Name(), n, err)
+				}
+				h := fnv.New64a()
+				for _, v := range plan.Order {
+					fmt.Fprintf(h, "%d,", v)
+				}
+				fmt.Fprintf(f, "%s n=%d seed=%d %x\n", alg.Name(), n, seed, h.Sum64())
+			}
+		}
+	}
+}

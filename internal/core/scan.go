@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"sync"
 
 	"serpentine/internal/geometry"
 )
@@ -25,6 +25,12 @@ type Scan struct{}
 // Name returns "SCAN".
 func (Scan) Name() string { return "SCAN" }
 
+type scanArena struct {
+	b buckets
+}
+
+var scanPool = sync.Pool{New: func() any { return new(scanArena) }}
+
 // Schedule implements the Figure 2 pseudocode.
 func (Scan) Schedule(p *Problem) (Plan, error) {
 	if err := p.Validate(); err != nil {
@@ -37,53 +43,42 @@ func (Scan) Schedule(p *Problem) (Plan, error) {
 	params := view.Params()
 	s := params.SectionsPerTrack
 
-	// request(T,X): requests in track T, physical section X, sorted
-	// by increasing segment number.
-	type cell struct{ track, section int }
-	buckets := make(map[cell][]int)
-	for _, r := range p.Requests {
-		pl := view.Place(r)
-		c := cell{pl.Track, pl.PhysSection}
-		buckets[c] = append(buckets[c], r)
-	}
-	for _, segs := range buckets {
-		sort.Ints(segs)
-	}
+	a := scanPool.Get().(*scanArena)
+	b := &a.b
+	b.build(view, p.Requests)
 
 	// pick serves the lowest-numbered track of the given direction
 	// parity holding requests at physical section x, if any.
-	pick := func(x int, forward bool) ([]int, bool) {
-		bestTrack := -1
+	pick := func(order []int, x int, forward bool) ([]int, bool) {
 		for t := 0; t < params.Tracks; t++ {
 			if (params.TrackDirection(t) == geometry.Forward) != forward {
 				continue
 			}
-			if _, ok := buckets[cell{t, x}]; ok {
-				bestTrack = t
-				break
+			if bi := b.at(t*s + x); bi >= 0 {
+				b.consumed[bi] = true
+				return append(order, b.run(bi)...), true
 			}
 		}
-		if bestTrack < 0 {
-			return nil, false
-		}
-		c := cell{bestTrack, x}
-		segs := buckets[c]
-		delete(buckets, c)
-		return segs, true
+		return order, false
 	}
 
 	order := make([]int, 0, len(p.Requests))
-	for len(buckets) > 0 {
+	remaining := len(b.bCell)
+	for remaining > 0 {
 		for x := 0; x < s; x++ {
-			if segs, ok := pick(x, true); ok {
-				order = append(order, segs...)
+			var ok bool
+			if order, ok = pick(order, x, true); ok {
+				remaining--
 			}
 		}
 		for x := s - 1; x >= 0; x-- {
-			if segs, ok := pick(x, false); ok {
-				order = append(order, segs...)
+			var ok bool
+			if order, ok = pick(order, x, false); ok {
+				remaining--
 			}
 		}
 	}
+	b.release()
+	scanPool.Put(a)
 	return Plan{Order: order}, nil
 }

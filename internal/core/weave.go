@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"serpentine/internal/geometry"
 )
@@ -45,68 +46,83 @@ type weaveItem struct {
 	sect int // physical section number
 }
 
-// weavePattern enumerates the weave order from track t, physical
-// section p, over a tape with s sections per track. Section numbers
-// out of range and repeated (kind, section) pairs are omitted, per
-// the paper. The enumeration covers every (kind, section) pair.
-func weavePattern(params geometry.Params, t, p int) []weaveItem {
-	s := params.SectionsPerTrack
-	sign := 1
-	if params.TrackDirection(t) == geometry.Reverse {
-		sign = -1
-	}
-	fwd := func(n int) int { return p + sign*n }
-	rev := func(n int) int { return p - sign*n }
-	// flip swaps the preference order of the two sections at each
-	// physical end of the tape: 0,1,...,s-2,s-1 -> 1,0,...,s-1,s-2.
-	flip := func(x int) int {
-		switch x {
-		case 0:
-			return 1
-		case 1:
-			return 0
-		case s - 2:
-			return s - 1
-		case s - 1:
-			return s - 2
-		}
-		return x
-	}
+// patternBuilder accumulates a weave pattern without allocating:
+// seen is a dense (kind, section) table the builder leaves all-false
+// after build, and out is the caller's reusable buffer.
+type patternBuilder struct {
+	s    int
+	sign int
+	out  []weaveItem
+	seen []bool // 3*s entries, kind-major
+}
 
-	seen := make(map[weaveItem]bool, 3*s)
-	out := make([]weaveItem, 0, 3*s)
-	emit := func(kind weaveKind, sect int) {
-		if sect < 0 || sect >= s {
-			return
-		}
-		it := weaveItem{kind, sect}
-		if seen[it] {
-			return
-		}
-		seen[it] = true
-		out = append(out, it)
+func (pb *patternBuilder) emit(kind weaveKind, sect int) {
+	if sect < 0 || sect >= pb.s {
+		return
 	}
+	slot := int(kind)*pb.s + sect
+	if pb.seen[slot] {
+		return
+	}
+	pb.seen[slot] = true
+	pb.out = append(pb.out, weaveItem{kind, sect})
+}
+
+// flip swaps the preference order of the two sections at each
+// physical end of the tape: 0,1,...,s-2,s-1 -> 1,0,...,s-1,s-2.
+func (pb *patternBuilder) flip(x int) int {
+	switch x {
+	case 0:
+		return 1
+	case 1:
+		return 0
+	case pb.s - 2:
+		return pb.s - 1
+	case pb.s - 1:
+		return pb.s - 2
+	}
+	return x
+}
+
+// build enumerates the weave order from track t, physical section p.
+// Section numbers out of range and repeated (kind, section) pairs are
+// omitted, per the paper. The enumeration covers every (kind,
+// section) pair.
+func (pb *patternBuilder) build(params geometry.Params, t, p int) {
+	s := params.SectionsPerTrack
+	pb.s = s
+	pb.sign = 1
+	if params.TrackDirection(t) == geometry.Reverse {
+		pb.sign = -1
+	}
+	pb.out = pb.out[:0]
+	if cap(pb.seen) < 3*s {
+		pb.seen = make([]bool, 3*s)
+	}
+	pb.seen = pb.seen[:3*s]
+	fwd := func(n int) int { return p + pb.sign*n }
+	rev := func(n int) int { return p - pb.sign*n }
 
 	// The opening of the pattern: (T,S), (T,fwd(S,1)), (T,fwd(S,2)),
 	// (CT,fwd(S,2)), (AT,rev(S,1)), (CT,fwd(S,1)), (AT,rev(S,2)).
-	emit(kindOwn, p)
-	emit(kindOwn, fwd(1))
-	emit(kindOwn, fwd(2))
-	emit(kindCo, fwd(2))
-	emit(kindAnti, rev(1))
-	emit(kindCo, fwd(1))
-	emit(kindAnti, rev(2))
+	pb.emit(kindOwn, p)
+	pb.emit(kindOwn, fwd(1))
+	pb.emit(kindOwn, fwd(2))
+	pb.emit(kindCo, fwd(2))
+	pb.emit(kindAnti, rev(1))
+	pb.emit(kindCo, fwd(1))
+	pb.emit(kindAnti, rev(2))
 
 	// The sweep: for i = 0..s-1: (AT,flip(fwd(S,i))), (T,fwd(S,i+3)),
 	// (CT,fwd(S,i+3)), (T,flip(rev(S,i))), (CT,flip(rev(S,i))),
 	// (AT,rev(S,i+3)).
 	for i := 0; i < s; i++ {
-		emit(kindAnti, flip(fwd(i)))
-		emit(kindOwn, fwd(i+3))
-		emit(kindCo, fwd(i+3))
-		emit(kindOwn, flip(rev(i)))
-		emit(kindCo, flip(rev(i)))
-		emit(kindAnti, rev(i+3))
+		pb.emit(kindAnti, pb.flip(fwd(i)))
+		pb.emit(kindOwn, fwd(i+3))
+		pb.emit(kindCo, fwd(i+3))
+		pb.emit(kindOwn, pb.flip(rev(i)))
+		pb.emit(kindCo, pb.flip(rev(i)))
+		pb.emit(kindAnti, rev(i+3))
 	}
 
 	// Defensive completion: the pattern above covers every
@@ -115,11 +131,32 @@ func weavePattern(params geometry.Params, t, p int) []weaveItem {
 	// order so the schedule always completes.
 	for _, k := range []weaveKind{kindOwn, kindCo, kindAnti} {
 		for x := 0; x < s; x++ {
-			emit(k, x)
+			pb.emit(k, x)
 		}
 	}
-	return out
+
+	// Restore the seen table for the next build.
+	for _, it := range pb.out {
+		pb.seen[int(it.kind)*s+it.sect] = false
+	}
 }
+
+// weavePattern enumerates the weave order from track t, physical
+// section p, allocating fresh buffers. The scheduler reuses a
+// patternBuilder instead; this entry point serves tests and the
+// sparse candidate generator.
+func weavePattern(params geometry.Params, t, p int) []weaveItem {
+	var pb patternBuilder
+	pb.build(params, t, p)
+	return pb.out
+}
+
+type weaveArena struct {
+	b  buckets
+	pb patternBuilder
+}
+
+var weavePool = sync.Pool{New: func() any { return new(weaveArena) }}
 
 // Schedule walks the weave pattern.
 func (Weave) Schedule(p *Problem) (Plan, error) {
@@ -131,26 +168,18 @@ func (Weave) Schedule(p *Problem) (Plan, error) {
 	}
 	view := p.Cost.View()
 	params := view.Params()
+	s := params.SectionsPerTrack
 
-	type cell struct{ track, section int }
-	buckets := make(map[cell][]int)
-	for _, r := range p.Requests {
-		pl := view.Place(r)
-		c := cell{pl.Track, pl.PhysSection}
-		buckets[c] = append(buckets[c], r)
-	}
-	for _, segs := range buckets {
-		sort.Ints(segs)
-	}
+	a := weavePool.Get().(*weaveArena)
+	b := &a.b
+	b.build(view, p.Requests)
 
 	// resolve finds the concrete bucket for a pattern item: for the
 	// co- and anti-directional groups, the track nearest to cur
 	// (ties to the lower number) holding requests at that section.
-	resolve := func(cur int, it weaveItem) (cell, bool) {
+	resolve := func(cur int, it weaveItem) int32 {
 		if it.kind == kindOwn {
-			c := cell{cur, it.sect}
-			_, ok := buckets[c]
-			return c, ok
+			return b.at(cur*s + it.sect)
 		}
 		wantDir := params.TrackDirection(cur)
 		if it.kind == kindAnti {
@@ -160,12 +189,13 @@ func (Weave) Schedule(p *Problem) (Plan, error) {
 				wantDir = geometry.Forward
 			}
 		}
-		best, bestDist := -1, int(^uint(0)>>1)
+		best, bestDist := int32(-1), int(^uint(0)>>1)
 		for t := 0; t < params.Tracks; t++ {
 			if t == cur || params.TrackDirection(t) != wantDir {
 				continue
 			}
-			if _, ok := buckets[cell{t, it.sect}]; !ok {
+			bi := b.at(t*s + it.sect)
+			if bi < 0 {
 				continue
 			}
 			d := t - cur
@@ -173,49 +203,51 @@ func (Weave) Schedule(p *Problem) (Plan, error) {
 				d = -d
 			}
 			if d < bestDist {
-				best, bestDist = t, d
+				best, bestDist = bi, d
 			}
 		}
-		if best < 0 {
-			return cell{}, false
-		}
-		return cell{best, it.sect}, true
+		return best
 	}
 
 	startPl := view.Place(p.Start)
 	curTrack, curSect := startPl.Track, startPl.PhysSection
 	order := make([]int, 0, len(p.Requests))
-	for len(buckets) > 0 {
+	remaining := len(b.bCell)
+	for remaining > 0 {
 		found := false
-		for _, it := range weavePattern(params, curTrack, curSect) {
-			c, ok := resolve(curTrack, it)
-			if !ok {
+		a.pb.build(params, curTrack, curSect)
+		for _, it := range a.pb.out {
+			bi := resolve(curTrack, it)
+			if bi < 0 {
 				continue
 			}
-			order = append(order, buckets[c]...)
-			delete(buckets, c)
-			curTrack, curSect = c.track, c.section
+			order = append(order, b.run(bi)...)
+			b.consumed[bi] = true
+			remaining--
+			cell := int(b.bCell[bi])
+			curTrack, curSect = cell/s, cell%s
 			found = true
 			break
 		}
 		if !found {
 			// Unreachable: the pattern covers every cell. Drain
-			// deterministically anyway.
-			rest := make([]cell, 0, len(buckets))
-			for c := range buckets {
-				rest = append(rest, c)
-			}
-			sort.Slice(rest, func(i, j int) bool {
-				if rest[i].track != rest[j].track {
-					return rest[i].track < rest[j].track
+			// deterministically anyway, in (track, section) order.
+			rest := make([]int32, 0, remaining)
+			for bi := range b.consumed {
+				if !b.consumed[bi] {
+					rest = append(rest, b.bCell[bi])
 				}
-				return rest[i].section < rest[j].section
-			})
-			for _, c := range rest {
-				order = append(order, buckets[c]...)
-				delete(buckets, c)
 			}
+			slices.Sort(rest)
+			for _, cell := range rest {
+				bi := b.cell[cell]
+				order = append(order, b.run(bi)...)
+				b.consumed[bi] = true
+			}
+			remaining = 0
 		}
 	}
+	b.release()
+	weavePool.Put(a)
 	return Plan{Order: order}, nil
 }

@@ -1,0 +1,137 @@
+package locate
+
+import (
+	"math"
+
+	"serpentine/internal/geometry"
+)
+
+// MatrixCost is implemented by cost models that can fill a dense
+// src × dst locate-time matrix faster than repeated LocateTime calls.
+// Schedulers that build cost matrices (LOSS, SLTF) type-assert for it
+// and fall back to per-call evaluation otherwise.
+type MatrixCost interface {
+	Cost
+	// CostMatrix fills buf[i*len(dsts)+j] = LocateTime(srcs[i],
+	// dsts[j]) for every pair. buf must hold at least
+	// len(srcs)*len(dsts) entries; the fill touches nothing beyond
+	// that prefix.
+	CostMatrix(buf []float64, srcs, dsts []int)
+}
+
+// FillCostMatrix fills buf[i*len(dsts)+j] = c.LocateTime(srcs[i],
+// dsts[j]), using the batched fast path when c provides one.
+func FillCostMatrix(c Cost, buf []float64, srcs, dsts []int) {
+	if mc, ok := c.(MatrixCost); ok {
+		mc.CostMatrix(buf, srcs, dsts)
+		return
+	}
+	k := len(dsts)
+	for i, s := range srcs {
+		row := buf[i*k : (i+1)*k]
+		for j, d := range dsts {
+			row[j] = c.LocateTime(s, d)
+		}
+	}
+}
+
+// CostMatrix implements MatrixCost: one row per source, with the
+// source's placement hoisted out of the inner loop.
+func (m *Model) CostMatrix(buf []float64, srcs, dsts []int) {
+	k := len(dsts)
+	for i, s := range srcs {
+		m.locateRow(buf[i*k:(i+1)*k], s, dsts)
+	}
+}
+
+// locateRow fills row[j] = LocateTime(src, dsts[j]). It is the fast
+// path of LocateTime with the src-side lookups done once.
+func (m *Model) locateRow(row []float64, src int, dsts []int) {
+	ss := &m.secs[m.secOf[src]]
+	sp := m.pos[src]
+	const eps = 1e-12
+	for j, dst := range dsts {
+		if src == dst {
+			row[j] = 0
+			continue
+		}
+		ds := &m.secs[m.secOf[dst]]
+		dp := m.pos[dst]
+		if ss.track == ds.track && dst > src && ds.section <= ss.section+2 {
+			row[j] = m.p.ReadSecPerSection * math.Abs(dp-sp)
+			continue
+		}
+		landing := ds.landing
+		scanDist := math.Abs(landing - sp)
+		readDist := math.Abs(dp - landing)
+		scanDir := ss.dir
+		if scanDist > eps {
+			if landing > sp {
+				scanDir = 1
+			} else {
+				scanDir = -1
+			}
+		}
+		var reversals float64
+		if scanDir != ss.dir {
+			reversals++
+		}
+		if ds.dir != scanDir {
+			reversals++
+		}
+		t := m.p.OverheadSec +
+			reversals*m.p.ReverseSec +
+			m.p.ScanSecPerSection*scanDist +
+			m.p.ReadSecPerSection*readDist
+		if ss.track != ds.track {
+			t += m.p.TrackSwitchSec
+		}
+		row[j] = t
+	}
+}
+
+// CostMatrix implements MatrixCost for the perturbed decorator: the
+// base matrix is filled batched, then the Figure 10 alternating-sign
+// error is applied per destination.
+func (p *Perturbed) CostMatrix(buf []float64, srcs, dsts []int) {
+	FillCostMatrix(p.Base, buf, srcs, dsts)
+	k := len(dsts)
+	for i := range srcs {
+		row := buf[i*k : (i+1)*k]
+		for j, d := range dsts {
+			// Note: LocateTime(x, x) is perturbed too, matching the
+			// per-call decorator exactly.
+			t := row[j]
+			if d%2 == 0 {
+				t += p.E
+			} else {
+				t -= p.E
+			}
+			if t < 0 {
+				t = 0
+			}
+			row[j] = t
+		}
+	}
+}
+
+// referenceCost evaluates every estimate through the original
+// piecewise decomposition, bypassing the fast-path tables and the
+// batched matrix fill. It deliberately does not implement MatrixCost,
+// so schedulers handed one exercise their per-call fallback paths.
+// Equivalence tests compare plans and times produced against it
+// bit-for-bit with the fast path.
+type referenceCost struct {
+	m *Model
+}
+
+// Reference returns a Cost that evaluates estimates through the
+// original piecewise decomposition rather than the precomputed
+// tables. It exists for the fast-path equivalence tests.
+func (m *Model) Reference() Cost { return referenceCost{m} }
+
+func (r referenceCost) LocateTime(src, dst int) float64 { return r.m.referenceLocateTime(src, dst) }
+func (r referenceCost) ReadTime(lbn int) float64        { return r.m.referenceReadTime(lbn) }
+func (r referenceCost) FullReadTime() float64           { return r.m.FullReadTime() }
+func (r referenceCost) View() *geometry.View            { return r.m.View() }
+func (r referenceCost) Segments() int                   { return r.m.Segments() }

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"serpentine/internal/core"
@@ -198,10 +199,7 @@ func Run(cfg Config) (*Result, error) {
 	if optMax == 0 {
 		optMax = 12
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := cfg.effectiveWorkers()
 	gen := cfg.Workload
 	if gen == nil {
 		total := cfg.Model.Segments()
@@ -221,35 +219,56 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// effectiveWorkers resolves the configured worker count: positive
+// values are taken as given, anything else selects GOMAXPROCS.
+func (cfg *Config) effectiveWorkers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // runLength runs all trials at one schedule length, fanning trials
-// out over workers and merging the per-algorithm accumulators.
+// out over workers. Each worker keeps its working state — the Problem
+// value handed to schedulers and a dense slice of per-algorithm
+// partial accumulators — alive across all of its trials, claims
+// trials off a shared atomic counter, and merges its partials into
+// the shared result exactly once at the end, so the accumulator lock
+// is touched once per worker rather than once per trial.
 func runLength(cfg Config, gen func(int64) workload.Generator, n, trials, optMax, workers int) (LengthResult, error) {
+	// The schedulers active at this length, in configuration order;
+	// worker partials index this slice directly instead of hashing
+	// names per trial.
+	active := make([]core.Scheduler, 0, len(cfg.Schedulers))
 	lr := LengthResult{N: n, Alg: make(map[string]*AlgResult)}
 	for _, s := range cfg.Schedulers {
 		if skipAtLength(s, n, optMax) {
 			continue
 		}
+		active = append(active, s)
 		lr.Alg[s.Name()] = &AlgResult{}
 	}
 
 	var (
 		mu   sync.Mutex
 		wg   sync.WaitGroup
+		next atomic.Int64
 		errs = make(chan error, workers)
-		next = make(chan int, trials)
 	)
-	for t := 0; t < trials; t++ {
-		next <- t
-	}
-	close(next)
-
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := make(map[string]*AlgResult)
-			for trial := range next {
-				if err := runTrial(cfg, gen, n, trial, optMax, local); err != nil {
+			local := make([]AlgResult, len(active))
+			// One Problem per worker, reused across trials and
+			// schedulers; only Start and Requests change per trial.
+			p := &core.Problem{ReadLen: cfg.ReadLen, Cost: cfg.Model}
+			for {
+				trial := int(next.Add(1)) - 1
+				if trial >= trials {
+					break
+				}
+				if err := runTrial(cfg, gen, n, trial, active, local, p); err != nil {
 					select {
 					case errs <- err:
 					default:
@@ -258,12 +277,12 @@ func runLength(cfg Config, gen func(int64) workload.Generator, n, trials, optMax
 				}
 			}
 			mu.Lock()
-			for name, a := range local {
-				dst := lr.Alg[name]
-				dst.Total.Merge(&a.Total)
-				dst.PerLocate.Merge(&a.PerLocate)
-				dst.CPU += a.CPU
-				dst.Schedules += a.Schedules
+			for i := range local {
+				dst := lr.Alg[active[i].Name()]
+				dst.Total.Merge(&local[i].Total)
+				dst.PerLocate.Merge(&local[i].PerLocate)
+				dst.CPU += local[i].CPU
+				dst.Schedules += local[i].Schedules
 			}
 			mu.Unlock()
 		}()
@@ -285,8 +304,12 @@ func skipAtLength(s core.Scheduler, n, optMax int) bool {
 	return isOpt && n > optMax
 }
 
-// runTrial generates one request set and runs every scheduler on it.
-func runTrial(cfg Config, gen func(int64) workload.Generator, n, trial, optMax int, local map[string]*AlgResult) error {
+// runTrial generates one request set and runs every active scheduler
+// on it, reusing the worker's Problem and accumulating into its
+// partials. The t0/cpu stopwatch brackets only the Schedule call, so
+// the Figure 6 CPU-per-schedule metric excludes request generation,
+// verification and estimation.
+func runTrial(cfg Config, gen func(int64) workload.Generator, n, trial int, active []core.Scheduler, local []AlgResult, p *core.Problem) error {
 	// A distinct, deterministic seed per (length, trial) pair keeps
 	// the experiment reproducible regardless of worker count.
 	seed := cfg.Seed*1000003 + int64(n)*1000003607 + int64(trial)
@@ -296,13 +319,10 @@ func runTrial(cfg Config, gen func(int64) workload.Generator, n, trial, optMax i
 	if cfg.Start == BOTStart {
 		start = 0
 	}
-	reqs := set[1:]
+	p.Start = start
+	p.Requests = set[1:]
 
-	for _, s := range cfg.Schedulers {
-		if skipAtLength(s, n, optMax) {
-			continue
-		}
-		p := &core.Problem{Start: start, Requests: reqs, ReadLen: cfg.ReadLen, Cost: cfg.Model}
+	for i, s := range active {
 		t0 := time.Now()
 		plan, err := s.Schedule(p)
 		cpu := time.Since(t0)
@@ -310,16 +330,12 @@ func runTrial(cfg Config, gen func(int64) workload.Generator, n, trial, optMax i
 			return fmt.Errorf("sim: %s at n=%d: %w", s.Name(), n, err)
 		}
 		if cfg.Verify {
-			if err := core.CheckPermutation(reqs, plan.Order); err != nil {
+			if err := core.CheckPermutation(p.Requests, plan.Order); err != nil {
 				return fmt.Errorf("sim: %s at n=%d: %w", s.Name(), n, err)
 			}
 		}
 		est := plan.Estimate(p)
-		a := local[s.Name()]
-		if a == nil {
-			a = &AlgResult{}
-			local[s.Name()] = a
-		}
+		a := &local[i]
 		a.Total.Add(est.Total())
 		a.PerLocate.Add(est.Total() / float64(n))
 		a.CPU += cpu

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"serpentine/internal/core"
+)
+
+// Workers <= 0 must resolve to GOMAXPROCS; positive values are taken
+// literally.
+func TestEffectiveWorkers(t *testing.T) {
+	for _, c := range []struct{ in, want int }{
+		{0, runtime.GOMAXPROCS(0)},
+		{-2, runtime.GOMAXPROCS(0)},
+		{1, 1},
+		{7, 7},
+	} {
+		cfg := Config{Workers: c.in}
+		if got := cfg.effectiveWorkers(); got != c.want {
+			t.Errorf("effectiveWorkers(Workers=%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// A single-worker run is the clean Figure 6 timing configuration: one
+// goroutine reuses its Problem and the pooled scheduler arenas across
+// every trial, the CPU stopwatch covers schedule generation only, and
+// the accumulated counts must come out exact. Its statistics must
+// agree with a parallel run of the same seed.
+func TestSingleWorkerCPUTiming(t *testing.T) {
+	run := func(workers int) *Result {
+		res, err := Run(Config{
+			Model:      dltModel(t),
+			Schedulers: []core.Scheduler{core.NewSLTF(), core.NewLOSS(), core.Scan{}, core.Weave{}},
+			Lengths:    []int{16, 64},
+			Trials:     func(int) int { return 20 },
+			Seed:       9,
+			Workers:    workers,
+			Verify:     true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	single := run(1)
+	for _, lr := range single.Lengths {
+		for name, a := range lr.Alg {
+			if a.Schedules != 20 {
+				t.Errorf("%s n=%d: %d schedules, want 20", name, lr.N, a.Schedules)
+			}
+			if a.CPU <= 0 {
+				t.Errorf("%s n=%d: no CPU time accumulated", name, lr.N)
+			}
+			if a.CPUPerSchedule() <= 0 {
+				t.Errorf("%s n=%d: CPUPerSchedule not positive", name, lr.N)
+			}
+		}
+	}
+	parallel := run(4)
+	for _, n := range []int{16, 64} {
+		for _, name := range []string{"SLTF", "LOSS", "SCAN", "WEAVE"} {
+			a, okA := single.MeanPerLocate(name, n)
+			b, okB := parallel.MeanPerLocate(name, n)
+			if !okA || !okB {
+				t.Fatalf("%s n=%d missing from a run", name, n)
+			}
+			// The trials are seeded per (length, trial) pair, so only
+			// floating-point merge order can differ across worker
+			// counts.
+			if math.Abs(a-b) > 1e-9*math.Abs(a) {
+				t.Errorf("%s n=%d: single-worker mean %.12f differs from parallel %.12f", name, n, a, b)
+			}
+		}
+	}
+}
