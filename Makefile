@@ -9,11 +9,12 @@ BENCH_TXT ?= bench.txt
 .PHONY: verify test vet race bench bench-json clean
 
 # Tier-1 verify: build, vet, full test suite, and the race detector
-# over the parallel simulator.
+# over the parallel simulator plus the packages it drives concurrently
+# (the drive emulator and the scheduler suite).
 verify: vet
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sim/...
+	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/...
 
 test:
 	$(GO) test ./...
@@ -22,7 +23,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/sim/...
+	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/...
 
 # Run the performance-critical benchmarks with allocation reporting:
 # the scheduler suite, the locate-model fast path, and the root-level

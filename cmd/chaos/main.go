@@ -1,0 +1,107 @@
+// Command chaos runs the fault-injection experiment: the chained
+// steady-state scenario executed on the emulated drive while the
+// injected fault rate rises, for every scheduler the paper evaluates.
+// It reports delivered throughput (completed I/Os per hour), p99
+// per-request completion time, and the recovery work — retries,
+// replans, recalibrations, permanently failed requests — each
+// scheduling policy induces.
+//
+//	chaos
+//	chaos -batch 192 -batches 20 -rates 0,1,2,4,8
+//	chaos -algs LOSS,SLTF,SCAN -seed 7 -workers 4
+//
+// Runs are fully deterministic: the same flags produce the same
+// output at any worker count.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"serpentine/internal/core"
+	"serpentine/internal/fault"
+	"serpentine/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaos: ")
+	var (
+		serial    = flag.Int64("serial", 1, "cartridge serial number")
+		algs      = flag.String("algs", "", "comma-separated schedulers (default: the paper's eight)")
+		rateList  = flag.String("rates", "0,0.5,1,2,4", "comma-separated fault-rate multipliers")
+		batch     = flag.Int("batch", 96, "requests per batch")
+		batches   = flag.Int("batches", 12, "chained batches per cell")
+		warmup    = flag.Int("warmup", 2, "warmup batches excluded from statistics")
+		readLen   = flag.Int("readlen", 1, "segments transferred per request")
+		seed      = flag.Int64("seed", 1, "request-generation and fault seed")
+		workers   = flag.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+		transient = flag.Float64("transient", 0.02, "base transient read-error rate (per read)")
+		overshoot = flag.Float64("overshoot", 0.01, "base locate-overshoot rate (per locate)")
+		lost      = flag.Float64("lost", 0.002, "base lost-servo-position rate (per locate)")
+		media     = flag.Float64("media", 0.0005, "base fraction of media-bad segments")
+	)
+	flag.Parse()
+
+	cfg := sim.ChaosConfig{
+		Serial:    *serial,
+		BatchSize: *batch,
+		Batches:   *batches,
+		Warmup:    *warmup,
+		ReadLen:   *readLen,
+		Seed:      *seed,
+		Workers:   *workers,
+		Base: fault.Config{
+			TransientRate: *transient,
+			OvershootRate: *overshoot,
+			LostRate:      *lost,
+			MediaRate:     *media,
+		},
+	}
+	rates, err := parseRates(*rateList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Rates = rates
+	if *algs != "" {
+		for _, name := range strings.Split(*algs, ",") {
+			s, err := core.ByName(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Schedulers = append(cfg.Schedulers, s)
+		}
+	}
+
+	cells, err := sim.ChaosSweep(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "# chaos: %d-request batches, %d measured batches/cell, base mix transient=%g overshoot=%g lost=%g media=%g, seed %d\n\n",
+		*batch, *batches-*warmup, *transient, *overshoot, *lost, *media, *seed)
+	if err := sim.WriteChaos(w, cells); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %v", f, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative rate %g", v)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}

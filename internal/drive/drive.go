@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 
+	"serpentine/internal/fault"
 	"serpentine/internal/geometry"
 	"serpentine/internal/locate"
 	"serpentine/internal/rand48"
@@ -81,10 +82,16 @@ const (
 	// ReacquireSkipSections is the case-1 distance above which a
 	// move is a skip rather than a continuation of streaming.
 	ReacquireSkipSections = 0.03
+	// OvershootSettleSec is the settle cost of an overshooting locate
+	// on top of the travel to its (wrong) landing point.
+	OvershootSettleSec = 2.5
+	// RecalibrateSec is the servo-reacquisition cost at the beginning
+	// of tape after a lost position, on top of the rewind itself.
+	RecalibrateSec = 4.0
 )
 
 // ErrEndOfTape is returned when a read would run past the last
-// segment.
+// segment. The remaining sentinels live in errors.go.
 var ErrEndOfTape = errors.New("drive: end of tape")
 
 // Stats accumulates operation counts and wear indicators.
@@ -99,6 +106,15 @@ type Stats struct {
 	LocateSec float64
 	ReadSec   float64
 	RewindSec float64
+	// WaitSec is host-imposed idle time (retry backoff) charged via
+	// Wait.
+	WaitSec float64
+	// Recalibrations counts rewind-to-BOT recoveries from lost servo
+	// position; each also counts as a Rewind.
+	Recalibrations int
+	// FaultsInjected counts injected failures surfaced as errors
+	// (transient, overshoot, lost position, media).
+	FaultsInjected int
 	// DistanceSections is the total physical distance the tape moved
 	// under the head, in section units. Dividing by the track length
 	// approximates head passes, the tape-wear unit of the paper's
@@ -121,8 +137,10 @@ type Drive struct {
 	nominal geometry.Params
 	rng     *rand48.Source
 	noisy   bool
+	inj     *fault.Injector
 
 	pos   int
+	lost  bool
 	clock float64
 	stats Stats
 }
@@ -141,6 +159,16 @@ func WithNoiseSeed(seed int64) Option {
 // not of measurement).
 func WithoutNoise() Option {
 	return func(d *Drive) { d.noisy = false }
+}
+
+// WithFaults attaches a fault injector: operations then fail with the
+// typed errors of errors.go at the injector's configured rates, with
+// the virtual clock still charged for each failed attempt. A nil
+// injector (the default) means no injected faults, and the drive's
+// behaviour — including its noise stream — is bit-identical to a
+// drive constructed without this option.
+func WithFaults(inj *fault.Injector) Option {
+	return func(d *Drive) { d.inj = inj }
 }
 
 // New loads a cartridge into a fresh drive. The head starts at the
@@ -242,10 +270,45 @@ func (d *Drive) noise() float64 {
 // Locate positions the head to the reading start of segment lbn and
 // returns the elapsed time. It is the paper's locate primitive (the
 // tape analogue of a disk seek).
+//
+// With a fault injector attached, a locate may overshoot (the head
+// lands past the target; the returned *FaultError records where, and
+// the caller re-locates from there) or lose servo position (every
+// further operation fails with ErrLostPosition until Recalibrate).
+// Either way the failed attempt's travel is charged to the clock.
 func (d *Drive) Locate(lbn int) (float64, error) {
 	if lbn < 0 || lbn >= d.tape.Segments() {
-		return 0, fmt.Errorf("drive: locate to segment %d out of range [0,%d)", lbn, d.tape.Segments())
+		return 0, fmt.Errorf("%w: locate to segment %d outside [0,%d)", ErrOutOfRange, lbn, d.tape.Segments())
 	}
+	if d.lost {
+		return 0, &FaultError{Op: "locate", Segment: lbn, Pos: d.pos, Class: fault.LostPosition, Err: ErrLostPosition}
+	}
+	switch d.inj.OnLocate() {
+	case fault.Overshoot:
+		landing := lbn + d.inj.OvershootSegments()
+		if max := d.tape.Segments() - 1; landing > max {
+			landing = max
+		}
+		t := d.move(landing) + OvershootSettleSec
+		d.clock += OvershootSettleSec
+		d.stats.LocateSec += OvershootSettleSec
+		d.stats.FaultsInjected++
+		return t, &FaultError{Op: "locate", Segment: lbn, Pos: d.pos, Elapsed: t, Class: fault.Overshoot, Err: ErrOvershoot}
+	case fault.LostPosition:
+		// The transport travels for the intended locate, then the
+		// servo gives up: the attempt costs its full time and the
+		// head position stops being trustworthy.
+		t := d.move(lbn)
+		d.lost = true
+		d.stats.FaultsInjected++
+		return t, &FaultError{Op: "locate", Segment: lbn, Pos: d.pos, Elapsed: t, Class: fault.LostPosition, Err: ErrLostPosition}
+	}
+	return d.move(lbn), nil
+}
+
+// move executes the physical positioning to lbn — the fault-free
+// locate — charging the clock and stats.
+func (d *Drive) move(lbn int) float64 {
 	t := d.truth.LocateTime(d.pos, lbn)
 	if lbn != d.pos {
 		pl := d.tape.View().Place(lbn)
@@ -279,19 +342,48 @@ func (d *Drive) Locate(lbn int) (float64, error) {
 	d.clock += t
 	d.stats.Locates++
 	d.stats.LocateSec += t
-	return t, nil
+	return t
 }
 
 // Read transfers n segments starting at the current position and
 // leaves the head after the last segment read. It returns the
 // elapsed time.
+//
+// With a fault injector attached, a read may fail transiently (the
+// transfer streamed and is charged in full, but the data failed its
+// check — locate back and retry) or hit a permanently unreadable
+// segment (ErrMedia: the head parks at the bad segment and every
+// retry fails the same way).
 func (d *Drive) Read(n int) (float64, error) {
 	if n <= 0 {
-		return 0, fmt.Errorf("drive: read of %d segments", n)
+		return 0, fmt.Errorf("%w: read of %d segments", ErrOutOfRange, n)
 	}
 	if d.pos+n > d.tape.Segments() {
 		return 0, fmt.Errorf("%w: read of %d segments at %d exceeds %d", ErrEndOfTape, n, d.pos, d.tape.Segments())
 	}
+	if d.lost {
+		return 0, &FaultError{Op: "read", Segment: d.pos, Pos: d.pos, Class: fault.LostPosition, Err: ErrLostPosition}
+	}
+	if d.inj != nil {
+		// Media membership is position-deterministic and permanent,
+		// so it preempts the per-attempt transient draw.
+		for i := 0; i < n; i++ {
+			if d.inj.MediaBad(d.pos + i) {
+				return d.readMedia(i)
+			}
+		}
+		if d.inj.OnRead() == fault.Transient {
+			start := d.pos
+			t := d.doRead(n)
+			d.stats.FaultsInjected++
+			return t, &FaultError{Op: "read", Segment: start, Pos: d.pos, Elapsed: t, Class: fault.Transient, Err: ErrTransient}
+		}
+	}
+	return d.doRead(n), nil
+}
+
+// doRead executes the physical transfer of n validated segments.
+func (d *Drive) doRead(n int) float64 {
 	t := 0.0
 	for i := 0; i < n; i++ {
 		t += d.truth.ReadTime(d.pos + i)
@@ -305,7 +397,27 @@ func (d *Drive) Read(n int) (float64, error) {
 	d.stats.SegmentsRead += n
 	d.stats.ReadSec += t
 	d.stats.DistanceSections += t / d.truth.View().Params().ReadSecPerSection
-	return t, nil
+	return t
+}
+
+// readMedia fails a read on the unreadable segment good segments past
+// the head: the good prefix transfers, the attempt on the bad segment
+// is charged, and the head parks at the bad segment so a retry fails
+// deterministically.
+func (d *Drive) readMedia(good int) (float64, error) {
+	bad := d.pos + good
+	t := 0.0
+	for k := 0; k < good; k++ {
+		t += d.truth.ReadTime(d.pos + k)
+	}
+	t += d.truth.ReadTime(bad)
+	d.pos = bad
+	d.clock += t
+	d.stats.SegmentsRead += good
+	d.stats.ReadSec += t
+	d.stats.DistanceSections += t / d.truth.View().Params().ReadSecPerSection
+	d.stats.FaultsInjected++
+	return t, &FaultError{Op: "read", Segment: bad, Pos: d.pos, Elapsed: t, Class: fault.Media, Err: ErrMedia}
 }
 
 // Rewind returns the head to the beginning of tape (segment 0), as
@@ -321,6 +433,49 @@ func (d *Drive) Rewind() float64 {
 	d.stats.Rewinds++
 	d.stats.RewindSec += t
 	return t
+}
+
+// AttachFaults attaches a fault injector to an existing drive, or
+// removes it with nil; equivalent to constructing with WithFaults.
+// The chained-batch experiments use it to arm a drive per scenario.
+func (d *Drive) AttachFaults(inj *fault.Injector) { d.inj = inj }
+
+// FaultsEnabled reports whether a fault injector with at least one
+// non-zero rate is attached; recovery-aware callers use it to choose
+// between fast fault-free paths and recoverable execution.
+func (d *Drive) FaultsEnabled() bool {
+	return d.inj != nil && d.inj.Config().Enabled()
+}
+
+// Lost reports whether the drive has lost servo position; while true,
+// Locate and Read fail with ErrLostPosition and Position is not
+// trustworthy. Recalibrate clears it.
+func (d *Drive) Lost() bool { return d.lost }
+
+// Recalibrate recovers from a lost servo position: the transport
+// rewinds to the beginning of tape, where the servo reacquires its
+// absolute reference, and settles for RecalibrateSec. It returns the
+// elapsed time and is harmless (a plain rewind plus settle) when
+// position is not lost.
+func (d *Drive) Recalibrate() float64 {
+	t := d.Rewind() + RecalibrateSec
+	d.clock += RecalibrateSec
+	d.stats.RewindSec += RecalibrateSec
+	d.stats.Recalibrations++
+	d.lost = false
+	return t
+}
+
+// Wait charges host-imposed idle time — retry backoff between attempts
+// — to the virtual clock. Non-positive and non-finite durations are
+// ignored. The drive does nothing during a Wait; it exists so that
+// recovery policies account for the time they cost the request stream.
+func (d *Drive) Wait(sec float64) {
+	if math.IsNaN(sec) || math.IsInf(sec, 0) || sec <= 0 {
+		return
+	}
+	d.clock += sec
+	d.stats.WaitSec += sec
 }
 
 // ExecuteOrder runs a retrieval schedule: locate to and read each

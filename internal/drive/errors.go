@@ -1,0 +1,72 @@
+package drive
+
+import (
+	"errors"
+	"fmt"
+
+	"serpentine/internal/fault"
+)
+
+// Sentinel errors. Every failure the drive returns wraps exactly one
+// of these, so callers dispatch with errors.Is rather than string
+// matching. The injected-fault sentinels (ErrTransient, ErrOvershoot,
+// ErrLostPosition, ErrMedia) additionally arrive wrapped in a
+// *FaultError carrying the operation context; plain usage errors
+// (ErrOutOfRange, ErrEndOfTape) do not.
+var (
+	// ErrOutOfRange marks a request for a segment the cartridge does
+	// not have, or a non-positive transfer length: caller bugs, not
+	// drive faults. Retrying cannot help.
+	ErrOutOfRange = errors.New("drive: segment out of range")
+
+	// ErrTransient is a retryable read failure: the transfer
+	// completed mechanically but the data failed its check. The time
+	// of the failed attempt has been charged to the clock and the
+	// head has moved past the read range; retry by locating back.
+	ErrTransient = errors.New("drive: transient read error")
+
+	// ErrOvershoot is a locate that landed past its target after a
+	// servo retry. The head position in the FaultError is where the
+	// transport actually stopped; re-locate from there.
+	ErrOvershoot = errors.New("drive: locate overshoot")
+
+	// ErrLostPosition means the servo lost its absolute position.
+	// Every subsequent operation fails the same way until Recalibrate
+	// rewinds to the beginning of tape.
+	ErrLostPosition = errors.New("drive: lost servo position")
+
+	// ErrMedia is a permanently unreadable segment. Retries fail
+	// deterministically; the request must be abandoned.
+	ErrMedia = errors.New("drive: hard media error")
+)
+
+// FaultError carries the context of an injected drive fault: which
+// operation failed, the segment it was addressing, where the head
+// ended up, and the time the failed attempt cost. It wraps one of the
+// fault sentinels, so errors.Is(err, drive.ErrTransient) etc. work
+// through it.
+type FaultError struct {
+	// Op is the failed operation: "locate" or "read".
+	Op string
+	// Segment is the segment the operation was addressing (the locate
+	// target, or the unreadable segment for media errors).
+	Segment int
+	// Pos is the head position after the failed attempt. Meaningless
+	// when Err is ErrLostPosition.
+	Pos int
+	// Elapsed is the virtual time the failed attempt consumed.
+	Elapsed float64
+	// Class is the injected failure class.
+	Class fault.Class
+	// Err is the matching sentinel.
+	Err error
+}
+
+// Error formats the fault with its context.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("%v: %s of segment %d (head at %d, %.2fs lost)",
+		e.Err, e.Op, e.Segment, e.Pos, e.Elapsed)
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *FaultError) Unwrap() error { return e.Err }

@@ -1,0 +1,220 @@
+// Package fault injects drive failures into the emulated transport,
+// deterministically. The paper's validation already observes real
+// drives misbehaving — 7 of 3000 locates off by more than 2 s from
+// servo retries — but an *online* tertiary storage system (the
+// paper's setting) has to do more than absorb such events as noise:
+// it must keep serving the request stream through read errors, lost
+// head position and unreadable media. This package supplies the
+// failure generator; internal/drive surfaces the failures as typed
+// errors, and internal/sim's executor recovers from them.
+//
+// Four failure classes are modeled, in increasing severity:
+//
+//   - Transient: a read completes mechanically but the data fails its
+//     check (dirty head, marginal servo tracking). A retry from the
+//     same position usually succeeds.
+//   - Overshoot: a locate lands past its target (servo retry during
+//     the landing maneuver) and the host must re-locate from where
+//     the head actually stopped.
+//   - LostPosition: the drive loses confidence in its servo position
+//     entirely and refuses further motion until the host recalibrates
+//     by rewinding to the beginning of tape, where the servo can
+//     reacquire its absolute reference.
+//   - Media: a segment is physically unreadable (creased tape, oxide
+//     dropout). Retries never help; the request must be failed.
+//
+// Determinism is load-bearing: chaos experiments must reproduce
+// exactly — same seed and rates imply the same faults — regardless of
+// how many worker goroutines run other cells of the sweep. Transient,
+// overshoot and lost-position faults are drawn from a private rand48
+// stream consumed one draw per drive operation; media errors are a
+// pure function of (seed, segment), so the set of bad segments does
+// not depend on the order in which segments are visited.
+package fault
+
+import (
+	"fmt"
+
+	"serpentine/internal/rand48"
+)
+
+// Class identifies one failure class.
+type Class int
+
+const (
+	// None means the operation proceeds normally.
+	None Class = iota
+	// Transient is a retryable read failure.
+	Transient
+	// Overshoot is a locate that lands past its target.
+	Overshoot
+	// LostPosition invalidates the head position until recalibration.
+	LostPosition
+	// Media is a permanently unreadable segment.
+	Media
+)
+
+// String names the class for experiment output.
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Transient:
+		return "transient"
+	case Overshoot:
+		return "overshoot"
+	case LostPosition:
+		return "lost-position"
+	case Media:
+		return "media"
+	}
+	return fmt.Sprintf("fault.Class(%d)", int(c))
+}
+
+// Config sets the per-operation fault probabilities. The zero value
+// disables injection entirely.
+type Config struct {
+	// TransientRate is the probability that one read attempt fails
+	// transiently.
+	TransientRate float64
+	// OvershootRate is the probability that one locate overshoots its
+	// target.
+	OvershootRate float64
+	// LostRate is the probability that one locate loses servo
+	// position.
+	LostRate float64
+	// MediaRate is the fraction of segments that are permanently
+	// unreadable. Membership is a pure function of (Seed, segment).
+	MediaRate float64
+	// Seed seeds the draw stream and the media-error hash.
+	Seed int64
+}
+
+// Enabled reports whether any class can fire.
+func (c Config) Enabled() bool {
+	return c.TransientRate > 0 || c.OvershootRate > 0 || c.LostRate > 0 || c.MediaRate > 0
+}
+
+// Scale returns the config with every rate multiplied by f (clamped
+// to [0,1]); the chaos sweep uses it to turn one base mix into an
+// increasing-fault-rate axis.
+func (c Config) Scale(f float64) Config {
+	clamp := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	c.TransientRate = clamp(c.TransientRate * f)
+	c.OvershootRate = clamp(c.OvershootRate * f)
+	c.LostRate = clamp(c.LostRate * f)
+	c.MediaRate = clamp(c.MediaRate * f)
+	return c
+}
+
+// Validate reports an error if any rate is outside [0,1].
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"TransientRate", c.TransientRate},
+		{"OvershootRate", c.OvershootRate},
+		{"LostRate", c.LostRate},
+		{"MediaRate", c.MediaRate},
+	} {
+		if r.v < 0 || r.v > 1 || r.v != r.v {
+			return fmt.Errorf("fault: %s %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if c.OvershootRate+c.LostRate > 1 {
+		return fmt.Errorf("fault: OvershootRate+LostRate %v exceed 1",
+			c.OvershootRate+c.LostRate)
+	}
+	return nil
+}
+
+// Default returns the base fault mix the chaos experiments scale:
+// roughly one transient read failure per 50 reads, one overshoot per
+// 100 locates, one lost position per 500 locates, and one permanently
+// bad segment per 2000.
+func Default(seed int64) Config {
+	return Config{
+		TransientRate: 0.02,
+		OvershootRate: 0.01,
+		LostRate:      0.002,
+		MediaRate:     0.0005,
+		Seed:          seed,
+	}
+}
+
+// Injector draws faults for one drive. It is not safe for concurrent
+// use; like the drive itself, it belongs to one goroutine.
+type Injector struct {
+	cfg Config
+	rng *rand48.Source
+}
+
+// New returns an injector for the given config.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand48.New(cfg.Seed*2654435761 + 40503)}
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// OnLocate draws the fault afflicting one locate attempt: Overshoot,
+// LostPosition or None. Exactly one uniform variate is consumed per
+// call so the draw stream stays aligned across fault mixes with the
+// same operation sequence.
+func (in *Injector) OnLocate() Class {
+	if in == nil || (in.cfg.OvershootRate == 0 && in.cfg.LostRate == 0) {
+		return None
+	}
+	u := in.rng.Drand48()
+	switch {
+	case u < in.cfg.OvershootRate:
+		return Overshoot
+	case u < in.cfg.OvershootRate+in.cfg.LostRate:
+		return LostPosition
+	default:
+		return None
+	}
+}
+
+// OnRead draws the fault afflicting one read attempt: Transient or
+// None. Media errors are not drawn here — use MediaBad, which is
+// position-deterministic.
+func (in *Injector) OnRead() Class {
+	if in == nil || in.cfg.TransientRate == 0 {
+		return None
+	}
+	if in.rng.Drand48() < in.cfg.TransientRate {
+		return Transient
+	}
+	return None
+}
+
+// OvershootSegments draws how far past the target an overshooting
+// locate lands, in segments: uniformly 64..575, under a section of
+// DLT4000 data — the scale of a servo landing retry.
+func (in *Injector) OvershootSegments() int {
+	return 64 + in.rng.Intn(512)
+}
+
+// MediaBad reports whether segment lbn is permanently unreadable. It
+// is a pure function of (Seed, lbn): stable across retries, visit
+// order and runs, so a failed segment stays failed.
+func (in *Injector) MediaBad(lbn int) bool {
+	if in == nil || in.cfg.MediaRate <= 0 {
+		return false
+	}
+	h := uint64(in.cfg.Seed)*0x9E3779B97F4A7C15 + uint64(lbn)*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	return float64(h%(1<<24))/float64(1<<24) < in.cfg.MediaRate
+}

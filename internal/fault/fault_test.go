@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroConfigDisabled(t *testing.T) {
+	var cfg Config
+	if cfg.Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	in := New(cfg)
+	for i := 0; i < 1000; i++ {
+		if c := in.OnLocate(); c != None {
+			t.Fatalf("locate draw %d: %v from disabled injector", i, c)
+		}
+		if c := in.OnRead(); c != None {
+			t.Fatalf("read draw %d: %v from disabled injector", i, c)
+		}
+		if in.MediaBad(i) {
+			t.Fatalf("segment %d media-bad under zero MediaRate", i)
+		}
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if in.OnLocate() != None || in.OnRead() != None || in.MediaBad(7) {
+		t.Fatal("nil injector fired")
+	}
+}
+
+func TestDrawRatesApproximate(t *testing.T) {
+	cfg := Config{TransientRate: 0.1, OvershootRate: 0.05, LostRate: 0.02, Seed: 3}
+	in := New(cfg)
+	const n = 200000
+	var over, lost, trans int
+	for i := 0; i < n; i++ {
+		switch in.OnLocate() {
+		case Overshoot:
+			over++
+		case LostPosition:
+			lost++
+		}
+		if in.OnRead() == Transient {
+			trans++
+		}
+	}
+	check := func(name string, got int, want float64) {
+		t.Helper()
+		frac := float64(got) / n
+		if math.Abs(frac-want) > 0.2*want {
+			t.Errorf("%s rate %.4f, want ~%.4f", name, frac, want)
+		}
+	}
+	check("overshoot", over, cfg.OvershootRate)
+	check("lost", lost, cfg.LostRate)
+	check("transient", trans, cfg.TransientRate)
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	cfg := Default(11)
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 5000; i++ {
+		if a.OnLocate() != b.OnLocate() || a.OnRead() != b.OnRead() {
+			t.Fatalf("draw %d diverged between identically seeded injectors", i)
+		}
+	}
+}
+
+// Media membership must not depend on the draw stream: the same
+// segment gives the same answer before and after arbitrary draws, and
+// across injector instances.
+func TestMediaBadIsPositionDeterministic(t *testing.T) {
+	cfg := Config{MediaRate: 0.01, Seed: 5}
+	a := New(cfg)
+	before := make([]bool, 4096)
+	for i := range before {
+		before[i] = a.MediaBad(i)
+	}
+	for i := 0; i < 999; i++ {
+		a.OnLocate()
+		a.OnRead()
+	}
+	b := New(cfg)
+	for i := range before {
+		if a.MediaBad(i) != before[i] || b.MediaBad(i) != before[i] {
+			t.Fatalf("segment %d media membership unstable", i)
+		}
+	}
+	var bad int
+	for i := 0; i < 200000; i++ {
+		if b.MediaBad(i) {
+			bad++
+		}
+	}
+	frac := float64(bad) / 200000
+	if math.Abs(frac-cfg.MediaRate) > 0.5*cfg.MediaRate {
+		t.Fatalf("media-bad fraction %.5f, want ~%.5f", frac, cfg.MediaRate)
+	}
+}
+
+func TestScaleAndValidate(t *testing.T) {
+	base := Default(1)
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	zero := base.Scale(0)
+	if zero.Enabled() {
+		t.Fatal("Scale(0) still enabled")
+	}
+	big := base.Scale(1e9)
+	if err := big.Validate(); err == nil {
+		// Scale clamps each rate to [0,1]; the combined locate rates
+		// may exceed 1, which Validate must reject.
+		if big.OvershootRate+big.LostRate > 1 {
+			t.Fatal("Validate accepted combined locate rates over 1")
+		}
+	}
+	if (Config{TransientRate: -0.1}).Validate() == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if (Config{MediaRate: 1.5}).Validate() == nil {
+		t.Fatal("rate above 1 accepted")
+	}
+	if (Config{MediaRate: math.NaN()}).Validate() == nil {
+		t.Fatal("NaN rate accepted")
+	}
+}
+
+func TestOvershootSegmentsRange(t *testing.T) {
+	in := New(Default(2))
+	for i := 0; i < 1000; i++ {
+		o := in.OvershootSegments()
+		if o < 64 || o >= 576 {
+			t.Fatalf("overshoot %d outside [64,576)", o)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		None: "none", Transient: "transient", Overshoot: "overshoot",
+		LostPosition: "lost-position", Media: "media", Class(99): "fault.Class(99)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+}

@@ -90,3 +90,38 @@ func TestBatchChainDeterministic(t *testing.T) {
 		t.Fatal("chained run not deterministic")
 	}
 }
+
+// Degenerate chained runs — nothing measured, everything failed, or a
+// poisoned total — must yield a zero rate, never NaN or Inf.
+func TestIOsPerHourGuardsDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		r    ChainResult
+	}{
+		{"zero value", ChainResult{}},
+		{"requests but no time", ChainResult{Requests: 10}},
+		{"time but no requests", ChainResult{TotalSec: 100}},
+		{"all failed", ChainResult{Requests: 10, FailedRequests: 10, TotalSec: 100}},
+		{"more failures than requests", ChainResult{Requests: 5, FailedRequests: 9, TotalSec: 100}},
+		{"NaN total", ChainResult{Requests: 10, TotalSec: math.NaN()}},
+		{"Inf total", ChainResult{Requests: 10, TotalSec: math.Inf(1)}},
+		{"negative total", ChainResult{Requests: 10, TotalSec: -5}},
+	}
+	for _, c := range cases {
+		got := c.r.IOsPerHour()
+		if got != 0 {
+			t.Errorf("%s: IOsPerHour() = %v, want 0", c.name, got)
+		}
+	}
+	ok := ChainResult{Requests: 10, FailedRequests: 1, TotalSec: 3600}
+	if got := ok.IOsPerHour(); got != 9 {
+		t.Errorf("9 completed in an hour: IOsPerHour() = %v, want 9", got)
+	}
+}
+
+// P99 over an empty completion set (an all-failed run) must not panic.
+func TestP99CompletionGuardsEmpty(t *testing.T) {
+	if got := (ChainResult{}).P99CompletionSec(); got != 0 {
+		t.Fatalf("empty p99 = %v, want 0", got)
+	}
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"serpentine/internal/core"
+	"serpentine/internal/drive"
+	"serpentine/internal/fault"
+	"serpentine/internal/geometry"
+	"serpentine/internal/locate"
+)
+
+// ChaosConfig describes a chaos experiment: the chained steady-state
+// scenario executed on the emulated drive under an increasing fault
+// rate, for every scheduler, measuring how throughput and tail
+// latency degrade and how much recovery work each policy induces.
+type ChaosConfig struct {
+	// Serial selects the cartridge; 0 selects 1.
+	Serial int64
+	// Schedulers to compare; nil selects core.All(12), the paper's
+	// eight. Schedulers that cannot run at the batch size (OPT beyond
+	// 12 requests) are skipped, as in the paper.
+	Schedulers []core.Scheduler
+	// Rates are multipliers applied to the Base fault mix, one sweep
+	// column each; nil selects {0, 0.5, 1, 2, 4}. Rate 0 is the
+	// fault-free baseline.
+	Rates []float64
+	// Base is the fault mix at multiplier 1; a zero value selects
+	// fault.Default. Its Seed is ignored: each cell derives its own
+	// injector seed from Seed and the cell coordinates, so results do
+	// not depend on sweep order or worker count.
+	Base fault.Config
+	// BatchSize, Batches and Warmup shape each cell's chained run;
+	// zero values select 96, 12 and 2.
+	BatchSize, Batches, Warmup int
+	// ReadLen is the per-request transfer length; 0 means 1.
+	ReadLen int
+	// Policy bounds recovery.
+	Policy RetryPolicy
+	// Seed seeds request generation (shared by every cell, so all
+	// cells schedule the same request stream) and the per-cell
+	// injector seeds.
+	Seed int64
+	// Workers bounds concurrent cells; 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// ChaosCell is one (scheduler, fault rate) outcome.
+type ChaosCell struct {
+	Alg    string
+	Rate   float64
+	Result ChainResult
+}
+
+// ChaosSweep runs every (scheduler, rate) cell of the experiment.
+// Cells run concurrently up to cfg.Workers, but each cell is fully
+// deterministic — its drive, injector seed and request stream depend
+// only on the config and the cell's coordinates — so the sweep's
+// output is identical at any worker count.
+func ChaosSweep(cfg ChaosConfig) ([]ChaosCell, error) {
+	serial := cfg.Serial
+	if serial == 0 {
+		serial = 1
+	}
+	scheds := cfg.Schedulers
+	if scheds == nil {
+		scheds = core.All(12)
+	}
+	rates := cfg.Rates
+	if rates == nil {
+		rates = []float64{0, 0.5, 1, 2, 4}
+	}
+	base := cfg.Base
+	if !base.Enabled() {
+		base = fault.Default(0)
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 96
+	}
+	batches := cfg.Batches
+	if batches <= 0 {
+		batches = 12
+	}
+	warmup := cfg.Warmup
+	if warmup <= 0 {
+		warmup = 2
+	}
+
+	tape, err := geometry.Generate(geometry.DLT4000(), serial)
+	if err != nil {
+		return nil, fmt.Errorf("sim: chaos tape: %w", err)
+	}
+	model, err := locate.FromKeyPoints(tape.KeyPoints())
+	if err != nil {
+		return nil, fmt.Errorf("sim: chaos model: %w", err)
+	}
+
+	type cellSpec struct {
+		sched   core.Scheduler
+		algIdx  int
+		rateIdx int
+	}
+	var specs []cellSpec
+	for si, s := range scheds {
+		if skipAtLength(s, batch, 12) {
+			continue
+		}
+		for ri := range rates {
+			specs = append(specs, cellSpec{sched: s, algIdx: si, rateIdx: ri})
+		}
+	}
+	cells := make([]ChaosCell, len(specs))
+	workers := (&Config{Workers: cfg.Workers}).effectiveWorkers()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		errs = make(chan error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				sp := specs[i]
+				faults := base.Scale(rates[sp.rateIdx])
+				// One injector seed per cell coordinate: stable under
+				// sweep-order and worker-count changes.
+				faults.Seed = cfg.Seed*1000003 + int64(sp.algIdx)*8191 + int64(sp.rateIdx)*131 + 7
+				res, err := BatchChain(ChainConfig{
+					Model:     model,
+					Scheduler: sp.sched,
+					BatchSize: batch,
+					Batches:   batches,
+					Warmup:    warmup,
+					ReadLen:   cfg.ReadLen,
+					Seed:      cfg.Seed,
+					Drive:     drive.New(tape),
+					Faults:    faults,
+					Policy:    cfg.Policy,
+				})
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("sim: chaos %s rate %g: %w", sp.sched.Name(), rates[sp.rateIdx], err):
+					default:
+					}
+					return
+				}
+				cells[i] = ChaosCell{Alg: sp.sched.Name(), Rate: rates[sp.rateIdx], Result: res}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return cells, nil
+}
+
+// WriteChaos prints the sweep: one block per fault-rate multiplier,
+// one row per scheduler, with throughput, tail latency and recovery
+// counters.
+func WriteChaos(w io.Writer, cells []ChaosCell) error {
+	var rates []float64
+	seen := make(map[float64]bool)
+	for _, c := range cells {
+		if !seen[c.Rate] {
+			seen[c.Rate] = true
+			rates = append(rates, c.Rate)
+		}
+	}
+	for _, rate := range rates {
+		if _, err := fmt.Fprintf(w, "# fault rate x%g\n%-8s %8s %9s %8s %8s %7s %7s %7s %9s\n",
+			rate, "alg", "IO/h", "p99 s", "served", "failed", "retry", "replan", "recal", "recov%"); err != nil {
+			return err
+		}
+		for _, c := range cells {
+			if c.Rate != rate {
+				continue
+			}
+			r := c.Result
+			recovPct := 0.0
+			if r.TotalSec > 0 {
+				recovPct = r.RecoverySec / r.TotalSec * 100
+			}
+			if _, err := fmt.Fprintf(w, "%-8s %8.1f %9.1f %8d %8d %7d %7d %7d %9.2f\n",
+				c.Alg, r.IOsPerHour(), r.P99CompletionSec(), r.Served, r.FailedRequests,
+				r.Retries, r.Replans, r.Recalibrations, recovPct); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,375 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"serpentine/internal/core"
+	"serpentine/internal/drive"
+)
+
+// RetryPolicy bounds the executor's recovery behaviour. The zero
+// value selects the defaults noted per field.
+type RetryPolicy struct {
+	// MaxRetries is how many failed attempts one request may consume
+	// before the executor stops retrying in place and replans the
+	// remaining work; 0 selects 3.
+	MaxRetries int
+	// BackoffBaseSec is the first transient-retry backoff, doubled on
+	// every further retry of the same request and charged to the
+	// drive's virtual clock; 0 selects 0.5.
+	BackoffBaseSec float64
+	// BackoffMaxSec caps the exponential backoff; 0 selects 30.
+	BackoffMaxSec float64
+	// RequestTimeoutSec is the drive-time budget one request may
+	// consume (attempts plus backoff) before the executor abandons
+	// the in-place retry loop and replans; 0 selects 900.
+	RequestTimeoutSec float64
+	// MaxReplans bounds replanning per executed plan; when exhausted,
+	// further unrecoverable requests are failed instead of replanned;
+	// 0 selects 16.
+	MaxReplans int
+	// PlanningBudgetOps is the deterministic planning-cost budget per
+	// replan, in modelled scheduler operations (see planningOps):
+	// when the active scheduler's modelled cost for the remaining
+	// batch exceeds it, the executor degrades along the LOSS → SLTF →
+	// SCAN chain. The budget is deliberately a cost model rather than
+	// a wall-clock stopwatch: scheduling decisions driven by measured
+	// nanoseconds would make retry/replan counts depend on machine
+	// load, destroying the reproducibility the chaos experiments
+	// assert. 0 selects 4<<20 (~LOSS up to 2048 requests, matching
+	// the Auto policy's crossover).
+	PlanningBudgetOps int
+}
+
+// withDefaults resolves the zero-value fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 3
+	}
+	if p.BackoffBaseSec <= 0 {
+		p.BackoffBaseSec = 0.5
+	}
+	if p.BackoffMaxSec <= 0 {
+		p.BackoffMaxSec = 30
+	}
+	if p.RequestTimeoutSec <= 0 {
+		p.RequestTimeoutSec = 900
+	}
+	if p.MaxReplans <= 0 {
+		p.MaxReplans = 16
+	}
+	if p.PlanningBudgetOps <= 0 {
+		p.PlanningBudgetOps = 4 << 20
+	}
+	return p
+}
+
+// backoff returns the wait before transient retry k (0-based):
+// BackoffBaseSec * 2^k, capped at BackoffMaxSec.
+func (p RetryPolicy) backoff(k int) float64 {
+	b := p.BackoffBaseSec * math.Pow(2, float64(k))
+	if b > p.BackoffMaxSec {
+		return p.BackoffMaxSec
+	}
+	return b
+}
+
+// ExecResult accounts one plan execution on the drive.
+type ExecResult struct {
+	// Served lists the segments retrieved successfully, in service
+	// order (the plan order, re-shuffled by any replans).
+	Served []int
+	// Failed lists the segments abandoned permanently (media errors,
+	// retry exhaustion past the replan budget).
+	Failed []int
+	// Retries counts failed attempts that were retried in place
+	// (transient reads, overshoot re-locates).
+	Retries int
+	// Replans counts mid-schedule replannings of the remaining
+	// requests from the current head position.
+	Replans int
+	// Recalibrations counts rewind-to-BOT recoveries from lost servo
+	// position.
+	Recalibrations int
+	// Fallbacks counts scheduler downgrades along the LOSS → SLTF →
+	// SCAN chain when replanning exceeded the planning budget.
+	Fallbacks int
+	// ElapsedSec is the total virtual time the execution took,
+	// including all recovery.
+	ElapsedSec float64
+	// RecoverySec is the share of ElapsedSec spent on recovery:
+	// failed attempts, backoff waits and recalibrations.
+	RecoverySec float64
+	// Completions holds, for each served request in service order,
+	// its completion time offset from the start of the execution; the
+	// chaos experiments take p99 over these.
+	Completions []float64
+}
+
+// Executor runs retrieval plans against an emulated drive, recovering
+// from injected faults: transient failures are retried in place with
+// exponential backoff, overshoots re-locate from where the head
+// landed, lost servo position triggers recalibration, and both lost
+// position and retry exhaustion replan the remaining requests from
+// the current head position with the active scheduler. When the
+// modelled planning cost of a replan exceeds the policy's budget the
+// executor degrades along the LOSS → SLTF → SCAN chain (the cheaper
+// schedulers reuse the same pooled arenas, so a degraded replan costs
+// one allocation). The degradation is sticky across replans of the
+// same execution and resets on the next Execute call.
+//
+// Like the drive it wraps, an Executor is not safe for concurrent
+// use.
+type Executor struct {
+	// Drive executes the schedules.
+	Drive *drive.Drive
+	// Scheduler replans after failures; nil selects LOSS. Chain
+	// position 0; SLTF and SCAN complete the degradation chain.
+	Scheduler core.Scheduler
+	// Policy bounds the recovery behaviour.
+	Policy RetryPolicy
+
+	level int // current degradation tier for this execution
+}
+
+// serve verdicts.
+type verdict int
+
+const (
+	vServed verdict = iota
+	vFailed
+	vReplan
+)
+
+// Execute runs the plan's order against the drive. The problem
+// supplies the cost model and read length replanning needs; plan must
+// be a plan for that problem. Requests that fail permanently are
+// recorded in the result, not returned as an error: an error return
+// means the execution itself was invalid (nil drive, out-of-range
+// request), after which the drive state is unspecified.
+//
+// With no enabled fault injector on the drive, Execute performs
+// exactly the locate/read sequence of drive.ExecuteOrder — or
+// drive.ReadEntireTape for whole-tape plans — and its timing is
+// bit-identical to those primitives.
+func (ex *Executor) Execute(p *core.Problem, plan core.Plan) (ExecResult, error) {
+	var res ExecResult
+	if ex.Drive == nil {
+		return res, fmt.Errorf("sim: Executor needs a drive")
+	}
+	if p == nil || p.Cost == nil {
+		return res, fmt.Errorf("sim: Executor needs a problem with a cost model")
+	}
+	ex.level = 0
+	readLen := p.ReadLen
+	if readLen < 1 {
+		readLen = 1
+	}
+	start := ex.Drive.Clock()
+
+	// A whole-tape READ plan on a fault-free drive is a streaming
+	// pass, not a locate sequence; keep that execution path so READ
+	// timing matches the validation experiments. Under injected
+	// faults the pass is executed request by request (the plan's
+	// order is ascending, so the locates degenerate to short forward
+	// skips) because recovery needs per-request granularity.
+	if plan.WholeTape && !ex.Drive.FaultsEnabled() {
+		el, err := ex.Drive.ReadEntireTape()
+		if err != nil {
+			return res, err
+		}
+		res.Served = append(res.Served, plan.Order...)
+		for range plan.Order {
+			res.Completions = append(res.Completions, el)
+		}
+		res.ElapsedSec = ex.Drive.Clock() - start
+		return res, nil
+	}
+
+	remaining := make([]int, len(plan.Order))
+	copy(remaining, plan.Order)
+	// strikes counts replan-triggering failures per segment: a
+	// segment that survives a replan and again exhausts its retries
+	// is abandoned rather than replanned forever.
+	var strikes map[int]int
+
+	for len(remaining) > 0 {
+		seg := remaining[0]
+		v, err := ex.serve(seg, readLen, &res)
+		if err != nil {
+			res.ElapsedSec = ex.Drive.Clock() - start
+			return res, err
+		}
+		switch v {
+		case vServed:
+			res.Served = append(res.Served, seg)
+			res.Completions = append(res.Completions, ex.Drive.Clock()-start)
+			remaining = remaining[1:]
+		case vFailed:
+			res.Failed = append(res.Failed, seg)
+			remaining = remaining[1:]
+		case vReplan:
+			if ex.Drive.Lost() {
+				t := ex.Drive.Recalibrate()
+				res.Recalibrations++
+				res.RecoverySec += t
+			}
+			if strikes == nil {
+				strikes = make(map[int]int)
+			}
+			strikes[seg]++
+			if strikes[seg] >= 2 || res.Replans >= ex.Policy.withDefaults().MaxReplans {
+				res.Failed = append(res.Failed, seg)
+				remaining = remaining[1:]
+				continue
+			}
+			res.Replans++
+			remaining = ex.replan(p, remaining, &res)
+		}
+	}
+	res.ElapsedSec = ex.Drive.Clock() - start
+	return res, nil
+}
+
+// serve retrieves one request, retrying in place per the policy. It
+// returns vServed on success, vFailed on a permanent per-request
+// failure (media error, read past end of tape), vReplan when in-place
+// retry is exhausted or position was lost, and a non-nil error only
+// for invalid executions.
+func (ex *Executor) serve(seg, readLen int, res *ExecResult) (verdict, error) {
+	d := ex.Drive
+	pol := ex.Policy.withDefaults()
+	begin := d.Clock()
+	fails := 0
+	for {
+		if d.Lost() {
+			return vReplan, nil
+		}
+		if fails > pol.MaxRetries {
+			return vReplan, nil
+		}
+		if d.Clock()-begin > pol.RequestTimeoutSec {
+			return vReplan, nil
+		}
+		attemptStart := d.Clock()
+		if _, err := d.Locate(seg); err != nil {
+			switch {
+			case errors.Is(err, drive.ErrOvershoot):
+				// The head is past the target; re-locate from where
+				// it stopped. No backoff: the failure is positional,
+				// not load-related.
+				fails++
+				res.Retries++
+				res.RecoverySec += d.Clock() - attemptStart
+				continue
+			case errors.Is(err, drive.ErrLostPosition):
+				res.RecoverySec += d.Clock() - attemptStart
+				return vReplan, nil
+			default:
+				return vFailed, err
+			}
+		}
+		_, err := d.Read(readLen)
+		if err == nil {
+			return vServed, nil
+		}
+		res.RecoverySec += d.Clock() - attemptStart
+		switch {
+		case errors.Is(err, drive.ErrMedia):
+			return vFailed, nil
+		case errors.Is(err, drive.ErrTransient):
+			res.Retries++
+			wait := pol.backoff(fails)
+			fails++
+			d.Wait(wait)
+			res.RecoverySec += wait
+			continue
+		case errors.Is(err, drive.ErrLostPosition):
+			return vReplan, nil
+		case errors.Is(err, drive.ErrEndOfTape):
+			// The request cannot be transferred at this read length;
+			// a plan/problem mismatch rather than a drive fault.
+			return vFailed, nil
+		default:
+			return vFailed, err
+		}
+	}
+}
+
+// replan reorders the remaining requests from the drive's current
+// head position. The active scheduler is tried first; when its
+// modelled planning cost exceeds the budget, or it fails, the
+// executor degrades to the next tier of the LOSS → SLTF → SCAN chain
+// and stays there for the rest of this execution. Replanning never
+// loses or invents a request: a schedule that is not a permutation of
+// the remaining set is rejected, and if every tier fails the current
+// order is kept.
+func (ex *Executor) replan(p *core.Problem, remaining []int, res *ExecResult) []int {
+	pol := ex.Policy.withDefaults()
+	prob := &core.Problem{
+		Start:    ex.Drive.Position(),
+		Requests: remaining,
+		ReadLen:  p.ReadLen,
+		Cost:     p.Cost,
+	}
+	chain := ex.chain()
+	for ; ex.level < len(chain); ex.level++ {
+		s := chain[ex.level]
+		if planningOps(s.Name(), len(remaining)) > pol.PlanningBudgetOps {
+			res.Fallbacks++
+			continue
+		}
+		plan, err := s.Schedule(prob)
+		if err != nil || core.CheckPermutation(remaining, plan.Order) != nil {
+			res.Fallbacks++
+			continue
+		}
+		return plan.Order
+	}
+	// Every tier was over budget or failed: keep the current order.
+	ex.level = len(chain) - 1
+	return remaining
+}
+
+// chain returns the degradation chain: the configured scheduler (LOSS
+// when nil), then SLTF, then SCAN, deduplicated by name.
+func (ex *Executor) chain() []core.Scheduler {
+	first := ex.Scheduler
+	if first == nil {
+		first = core.NewLOSS()
+	}
+	chain := []core.Scheduler{first}
+	for _, s := range []core.Scheduler{core.NewSLTF(), core.Scan{}} {
+		if s.Name() != first.Name() {
+			chain = append(chain, s)
+		}
+	}
+	return chain
+}
+
+// planningOps models the planning cost of scheduling n requests, in
+// abstract operations, from each algorithm's asymptotic shape (LOSS
+// builds a dense n-squared matrix; SLTF scans section buckets; the
+// rest are linearithmic). It exists so the planning-budget decision
+// is a pure function of (scheduler, n) — see
+// RetryPolicy.PlanningBudgetOps for why wall-clock time would be
+// wrong.
+func planningOps(name string, n int) int {
+	switch name {
+	case "OPT":
+		if n > 12 {
+			return math.MaxInt
+		}
+		return n * (1 << n)
+	case "LOSS", "LOSS-C":
+		return n * n
+	case "LOSS-SPARSE":
+		return 64 * n
+	case "SLTF", "SLTF-C":
+		return 40 * n
+	default: // FIFO, SORT, SCAN, WEAVE, READ: (near-)linear
+		return 8 * n
+	}
+}

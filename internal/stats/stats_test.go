@@ -168,3 +168,46 @@ func TestPercentilePanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestAccumulatorRejectsNonFinite(t *testing.T) {
+	var a Accumulator
+	a.Add(10)
+	a.Add(math.NaN())
+	a.Add(math.Inf(1))
+	a.Add(math.Inf(-1))
+	a.Add(20)
+	if a.N() != 2 || a.Dropped() != 3 {
+		t.Fatalf("n=%d dropped=%d, want 2 kept and 3 dropped", a.N(), a.Dropped())
+	}
+	if a.Mean() != 15 {
+		t.Fatalf("mean %g poisoned by non-finite samples", a.Mean())
+	}
+	if math.IsNaN(a.StdDev()) || math.IsNaN(a.Min()) || math.IsNaN(a.Max()) {
+		t.Fatal("summary statistics went NaN")
+	}
+}
+
+func TestMergeCombinesDroppedCounts(t *testing.T) {
+	var a, b, empty Accumulator
+	a.Add(math.NaN())
+	b.Add(1)
+	b.Add(math.Inf(1))
+	// Merge into an accumulator with no samples: the dropped count
+	// must survive the wholesale copy.
+	empty.Add(math.NaN())
+	empty.Merge(&b)
+	if empty.N() != 1 || empty.Dropped() != 2 {
+		t.Fatalf("empty-merge n=%d dropped=%d, want 1/2", empty.N(), empty.Dropped())
+	}
+	a.Merge(&b)
+	if a.N() != 1 || a.Dropped() != 2 {
+		t.Fatalf("merge n=%d dropped=%d, want 1/2", a.N(), a.Dropped())
+	}
+	// Merging an all-dropped accumulator keeps the count too.
+	var c Accumulator
+	c.Add(math.NaN())
+	b.Merge(&c)
+	if b.Dropped() != 2 {
+		t.Fatalf("all-dropped merge lost the count: %d", b.Dropped())
+	}
+}
