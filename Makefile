@@ -6,15 +6,23 @@ GO      ?= go
 BENCH_OUT ?= BENCH_PR1.json
 BENCH_TXT ?= bench.txt
 
-.PHONY: verify test vet race bench bench-json clean
+# Pinned analysis-tool versions: `go run pkg@version` fetches and runs
+# without touching go.mod, so the simulator itself stays dependency-free.
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
+GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
+
+FUZZTIME ?= 30s
+
+.PHONY: verify test vet fmt race bench bench-json fuzz-smoke lint results clean
 
 # Tier-1 verify: build, vet, full test suite, and the race detector
 # over the parallel simulator plus the packages it drives concurrently
-# (the drive emulator and the scheduler suite).
+# (the drive emulator, the scheduler suite, the online server and its
+# metrics registry).
 verify: vet
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/...
+	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/...
 
 test:
 	$(GO) test ./...
@@ -22,8 +30,12 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Fail when any file is not gofmt-clean; prints the offenders.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 race:
-	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/...
+	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/...
 
 # Run the performance-critical benchmarks with allocation reporting:
 # the scheduler suite, the locate-model fast path, and the root-level
@@ -37,6 +49,26 @@ bench:
 bench-json: bench
 	$(GO) run ./cmd/benchjson < $(BENCH_TXT) > $(BENCH_OUT)
 	rm -f $(BENCH_TXT)
+
+# Short fuzzing passes over the executor's replan path and the
+# server's admission queue — the two state machines arbitrary inputs
+# can reach. CI runs this on every PR; locally, raise FUZZTIME to dig.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzExecutorReplan$$' -fuzztime $(FUZZTIME) ./internal/sim/
+	$(GO) test -run '^$$' -fuzz '^FuzzAdmissionQueue$$' -fuzztime $(FUZZTIME) ./internal/server/
+
+# Static analysis beyond vet, with pinned tool versions. Needs network
+# on first run to fetch the tools (CI caches them).
+lint:
+	$(GO) run $(STATICCHECK) ./...
+	$(GO) run $(GOVULNCHECK) ./...
+
+# Regenerate every committed result table. The generators are
+# deterministic at any worker count, so `git diff results/` after this
+# target must be empty — CI enforces exactly that.
+results:
+	$(GO) run ./cmd/chaos > results/chaos.txt
+	$(GO) run ./cmd/serve > results/online.txt
 
 clean:
 	rm -f $(BENCH_TXT)

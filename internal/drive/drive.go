@@ -138,6 +138,7 @@ type Drive struct {
 	rng     *rand48.Source
 	noisy   bool
 	inj     *fault.Injector
+	trace   TraceFunc
 
 	pos   int
 	lost  bool
@@ -277,6 +278,13 @@ func (d *Drive) noise() float64 {
 // further operation fails with ErrLostPosition until Recalibrate).
 // Either way the failed attempt's travel is charged to the clock.
 func (d *Drive) Locate(lbn int) (float64, error) {
+	start := d.clock
+	t, err := d.locate(lbn)
+	d.emit("locate", lbn, start, err)
+	return t, err
+}
+
+func (d *Drive) locate(lbn int) (float64, error) {
 	if lbn < 0 || lbn >= d.tape.Segments() {
 		return 0, fmt.Errorf("%w: locate to segment %d outside [0,%d)", ErrOutOfRange, lbn, d.tape.Segments())
 	}
@@ -355,6 +363,14 @@ func (d *Drive) move(lbn int) float64 {
 // segment (ErrMedia: the head parks at the bad segment and every
 // retry fails the same way).
 func (d *Drive) Read(n int) (float64, error) {
+	start := d.clock
+	seg := d.pos
+	t, err := d.read(n)
+	d.emit("read", seg, start, err)
+	return t, err
+}
+
+func (d *Drive) read(n int) (float64, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("%w: read of %d segments", ErrOutOfRange, n)
 	}
@@ -423,6 +439,7 @@ func (d *Drive) readMedia(good int) (float64, error) {
 // Rewind returns the head to the beginning of tape (segment 0), as
 // required before ejecting a single-reel cartridge.
 func (d *Drive) Rewind() float64 {
+	start := d.clock
 	t := d.truth.RewindTime(d.pos) + d.noise()
 	if t < 0 {
 		t = 0
@@ -432,6 +449,7 @@ func (d *Drive) Rewind() float64 {
 	d.clock += t
 	d.stats.Rewinds++
 	d.stats.RewindSec += t
+	d.emit("rewind", 0, start, nil)
 	return t
 }
 
@@ -458,11 +476,13 @@ func (d *Drive) Lost() bool { return d.lost }
 // elapsed time and is harmless (a plain rewind plus settle) when
 // position is not lost.
 func (d *Drive) Recalibrate() float64 {
+	start := d.clock
 	t := d.Rewind() + RecalibrateSec
 	d.clock += RecalibrateSec
 	d.stats.RewindSec += RecalibrateSec
 	d.stats.Recalibrations++
 	d.lost = false
+	d.emit("recalibrate", 0, start, nil)
 	return t
 }
 
@@ -474,8 +494,10 @@ func (d *Drive) Wait(sec float64) {
 	if math.IsNaN(sec) || math.IsInf(sec, 0) || sec <= 0 {
 		return
 	}
+	start := d.clock
 	d.clock += sec
 	d.stats.WaitSec += sec
+	d.emit("wait", -1, start, nil)
 }
 
 // ExecuteOrder runs a retrieval schedule: locate to and read each
@@ -512,6 +534,7 @@ func (d *Drive) ReadEntireTape() (float64, error) {
 	// One pass: sequential read of every segment; the per-track
 	// switches are part of the truth model's full-read time, so
 	// charge them explicitly here via locate-free accounting.
+	start := d.clock
 	t := d.truth.FullReadTime()
 	d.stats.SegmentsRead += d.tape.Segments()
 	d.stats.ReadSec += t
@@ -519,5 +542,6 @@ func (d *Drive) ReadEntireTape() (float64, error) {
 	d.clock += t
 	d.pos = 0
 	total += t
+	d.emit("fullread", 0, start, nil)
 	return total, nil
 }

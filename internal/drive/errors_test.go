@@ -19,8 +19,8 @@ func TestErrorPathsWrapSentinels(t *testing.T) {
 		op        func(d *Drive) error
 		drive     func(t *testing.T) *Drive
 		sentinel  error
-		wantFault bool          // a *FaultError must be exposed via errors.As
-		class     fault.Class   // its Class, when wantFault
+		wantFault bool        // a *FaultError must be exposed via errors.As
+		class     fault.Class // its Class, when wantFault
 	}{
 		{
 			name:     "locate below range",

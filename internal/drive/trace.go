@@ -1,0 +1,69 @@
+package drive
+
+import (
+	"errors"
+
+	"serpentine/internal/fault"
+	"serpentine/internal/obs"
+)
+
+// TraceFunc observes completed drive operations for the observability
+// subsystem: one obs.TraceEvent per public primitive (locate, read,
+// rewind, recalibrate, wait, fullread), stamped with the virtual
+// clock at the start of the operation, its virtual duration, and an
+// error class for failed attempts. Recalibrate emits both its inner
+// rewind's event and its own, in that order, mirroring the physical
+// sequence.
+//
+// The hook runs synchronously on the drive's (single) operating
+// goroutine, so it must not call back into the drive.
+type TraceFunc func(obs.TraceEvent)
+
+// WithTrace attaches a trace hook at construction; nil disables
+// tracing (the default) at zero cost on the hot path.
+func WithTrace(fn TraceFunc) Option {
+	return func(d *Drive) { d.trace = fn }
+}
+
+// AttachTrace attaches or (with nil) removes the trace hook on an
+// existing drive; equivalent to constructing with WithTrace.
+func (d *Drive) AttachTrace(fn TraceFunc) { d.trace = fn }
+
+// emit reports one completed operation to the hook, if any. start is
+// the clock reading at the operation's beginning; the elapsed time is
+// whatever the operation charged since.
+func (d *Drive) emit(op string, segment int, start float64, err error) {
+	if d.trace == nil {
+		return
+	}
+	d.trace(obs.TraceEvent{
+		ClockSec:   start,
+		Op:         op,
+		Segment:    segment,
+		ElapsedSec: d.clock - start,
+		Err:        errClass(err),
+	})
+}
+
+// errClass renders an operation error as a stable short label: the
+// injected-fault class when there is one, a coarse sentinel name
+// otherwise.
+func errClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		return fe.Class.String()
+	}
+	switch {
+	case errors.Is(err, ErrOutOfRange):
+		return "out-of-range"
+	case errors.Is(err, ErrEndOfTape):
+		return "end-of-tape"
+	case errors.Is(err, ErrLostPosition):
+		return fault.LostPosition.String()
+	default:
+		return "error"
+	}
+}

@@ -1,0 +1,348 @@
+// Package obs is the observability subsystem of the online serving
+// layer: counters, gauges and latency histograms keyed by metric name
+// plus labels, a bounded trace of drive operations, and deterministic
+// text dumps in Prometheus exposition format and expvar-style JSON.
+//
+// Everything here is driven by the simulator's *virtual* clock — the
+// package never reads wall time, so a metrics dump is a pure function
+// of the experiment that produced it and can be committed as evidence
+// the way the results/ tables are. Dumps render metrics in sorted
+// order for the same reason.
+//
+// A Registry is safe for concurrent use; the parallel sweeps give
+// every cell its own registry and Merge them afterwards in spec order,
+// which keeps the merged dump independent of the worker count.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name=value dimension of a metric.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKey renders name plus sorted labels into the canonical series
+// identity, e.g. `served_total{alg="LOSS",policy="fixed-window"}`.
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitKey separates a canonical series identity back into the bare
+// metric name and the rendered label block ("" when unlabeled).
+func splitKey(key string) (name, labelBlock string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n; negative n is ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is an instantaneous value (queue depth, clock seconds).
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Max raises the gauge to v if v is larger (high-water marks).
+func (g *Gauge) Max(v float64) {
+	g.mu.Lock()
+	if v > g.v {
+		g.v = v
+	}
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Registry holds a process's metrics by canonical series identity.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+	trace  *Trace
+}
+
+// NewRegistry returns an empty registry with no trace attached.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counts[key]
+	if c == nil {
+		c = &Counter{}
+		r.counts[key] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[key]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[key]
+	if h == nil {
+		h = newHistogram()
+		r.hists[key] = h
+	}
+	return h
+}
+
+// AttachTrace gives the registry a bounded trace of the most recent
+// cap events (cap <= 0 removes the trace). Trace returns it.
+func (r *Registry) AttachTrace(cap int) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cap <= 0 {
+		r.trace = nil
+		return nil
+	}
+	r.trace = NewTrace(cap)
+	return r.trace
+}
+
+// Trace returns the attached trace, or nil.
+func (r *Registry) Trace() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trace
+}
+
+// Merge folds every metric of b into r: counters and histograms
+// accumulate, gauges sum. The sweeps label each cell's series with the
+// cell coordinates, so in practice gauge series never collide and
+// "sum" degenerates to "copy"; summing keeps Merge total and
+// deterministic for the series that do. b's trace is not merged
+// (traces are per-run diagnostics, not aggregates).
+func (r *Registry) Merge(b *Registry) {
+	if b == nil || b == r {
+		return
+	}
+	b.mu.Lock()
+	type hsnap struct {
+		key string
+		h   *Histogram
+	}
+	counts := make(map[string]int64, len(b.counts))
+	for k, c := range b.counts {
+		counts[k] = c.Value()
+	}
+	gauges := make(map[string]float64, len(b.gauges))
+	for k, g := range b.gauges {
+		gauges[k] = g.Value()
+	}
+	hists := make([]hsnap, 0, len(b.hists))
+	for k, h := range b.hists {
+		hists = append(hists, hsnap{k, h})
+	}
+	b.mu.Unlock()
+
+	for k, v := range counts {
+		r.counterByKey(k).Add(v)
+	}
+	for k, v := range gauges {
+		r.gaugeByKey(k).Add(v)
+	}
+	for _, hs := range hists {
+		r.histogramByKey(hs.key).merge(hs.h)
+	}
+}
+
+func (r *Registry) counterByKey(key string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counts[key]
+	if c == nil {
+		c = &Counter{}
+		r.counts[key] = c
+	}
+	return c
+}
+
+func (r *Registry) gaugeByKey(key string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[key]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+func (r *Registry) histogramByKey(key string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[key]
+	if h == nil {
+		h = newHistogram()
+		r.hists[key] = h
+	}
+	return h
+}
+
+// TraceEvent is one recorded operation: what ran, where, when on the
+// virtual clock, for how long, and how it ended.
+type TraceEvent struct {
+	// ClockSec is the virtual-clock time at which the operation
+	// started.
+	ClockSec float64
+	// Op names the operation ("locate", "read", "rewind", ...).
+	Op string
+	// Segment is the operation's target segment, or -1.
+	Segment int
+	// ElapsedSec is the operation's virtual duration.
+	ElapsedSec float64
+	// Err classifies a failed operation ("" on success).
+	Err string
+}
+
+// Trace is a bounded ring of the most recent events. It is safe for
+// concurrent use.
+type Trace struct {
+	mu      sync.Mutex
+	ring    []TraceEvent
+	next    int
+	total   int
+	dropped int
+}
+
+// NewTrace returns a trace retaining the most recent cap events.
+func NewTrace(cap int) *Trace {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Trace{ring: make([]TraceEvent, 0, cap)}
+}
+
+// Add records one event, evicting the oldest when full.
+func (t *Trace) Add(ev TraceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+		return
+	}
+	t.dropped++
+	t.ring[t.next] = ev
+	t.next = (t.next + 1) % len(t.ring)
+}
+
+// Events returns the retained events, oldest first.
+func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Total returns how many events were ever added; Dropped how many of
+// those were evicted.
+func (t *Trace) Total() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns the number of evicted events.
+func (t *Trace) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("served_total", L("alg", "LOSS"))
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if r.Counter("served_total", L("alg", "LOSS")) != c {
+		t.Fatal("same name+labels did not return the same counter")
+	}
+	if r.Counter("served_total", L("alg", "SLTF")) == c {
+		t.Fatal("different labels returned the same counter")
+	}
+
+	g := r.Gauge("queue_depth")
+	g.Set(4)
+	g.Add(-1)
+	g.Max(2) // below current: no-op
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %g, want 3", got)
+	}
+	g.Max(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge high-water = %g, want 9", got)
+	}
+}
+
+func TestMetricKeyLabelOrderInsensitive(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", L("b", "2"), L("a", "1"))
+	b := r.Counter("x", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label order changed the series identity")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sojourn_seconds")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	h.Observe(math.NaN()) // dropped, not absorbed
+	if h.Count() != 100 || h.Dropped() != 1 {
+		t.Fatalf("count=%d dropped=%d, want 100/1", h.Count(), h.Dropped())
+	}
+	if got := h.Quantile(50); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("p50 = %g, want 50.5", got)
+	}
+	if got := h.Quantile(99); math.Abs(got-99.01) > 1e-9 {
+		t.Fatalf("p99 = %g, want 99.01", got)
+	}
+	if h.SaturatedQuantiles() {
+		t.Fatal("tiny histogram claims saturation")
+	}
+	// Idle histogram: NaN-free zeros.
+	idle := r.Histogram("idle_seconds")
+	if q := idle.Quantile(99); q != 0 || math.IsNaN(q) {
+		t.Fatalf("empty histogram p99 = %g, want 0", q)
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("n").Add(2)
+	b.Counter("n").Add(3)
+	b.Counter("only_b").Inc()
+	a.Gauge("g").Set(1)
+	b.Gauge("g").Set(2)
+	a.Histogram("h").Observe(1)
+	b.Histogram("h").Observe(3)
+
+	a.Merge(b)
+	if got := a.Counter("n").Value(); got != 5 {
+		t.Fatalf("merged counter = %d, want 5", got)
+	}
+	if got := a.Counter("only_b").Value(); got != 1 {
+		t.Fatalf("merged new counter = %d, want 1", got)
+	}
+	if got := a.Gauge("g").Value(); got != 3 {
+		t.Fatalf("merged gauge = %g, want 3", got)
+	}
+	h := a.Histogram("h")
+	if h.Count() != 2 || h.Sum() != 4 {
+		t.Fatalf("merged histogram count=%d sum=%g, want 2/4", h.Count(), h.Sum())
+	}
+	a.Merge(a) // self-merge must be a no-op
+	if got := a.Counter("n").Value(); got != 5 {
+		t.Fatalf("self-merge changed counter to %d", got)
+	}
+}
+
+func TestWritePromDeterministicAndWellFormed(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("served_total", L("policy", "fixed-window"), L("alg", "LOSS")).Add(7)
+		r.Gauge("clock_seconds").Set(123.5)
+		h := r.Histogram("sojourn_seconds", L("alg", "LOSS"))
+		h.Observe(0.1)
+		h.Observe(3)
+		h.Observe(40000)
+		return r
+	}
+	var s1, s2 strings.Builder
+	if err := build().WriteProm(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteProm(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatal("WriteProm is not deterministic")
+	}
+	out := s1.String()
+	for _, want := range []string{
+		"# TYPE served_total counter",
+		`served_total{alg="LOSS",policy="fixed-window"} 7`,
+		"# TYPE clock_seconds gauge",
+		"clock_seconds 123.5",
+		"# TYPE sojourn_seconds histogram",
+		`sojourn_seconds_bucket{alg="LOSS",le="0.25"} 1`,
+		`sojourn_seconds_bucket{alg="LOSS",le="+Inf"} 3`,
+		`sojourn_seconds_count{alg="LOSS"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteProm output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be non-decreasing and end at count.
+	if strings.Index(out, `le="0.25"`) > strings.Index(out, `le="+Inf"`) {
+		t.Fatal("bucket order is not ascending")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total").Add(2)
+	r.Histogram("svc_seconds").Observe(1.5)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"served_total": 2`, `"count":1`, `"p99":1.5`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteJSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	tr := NewTrace(3)
+	for i := 0; i < 5; i++ {
+		tr.Add(TraceEvent{ClockSec: float64(i), Op: "locate", Segment: i})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 || tr.Total() != 5 || tr.Dropped() != 2 {
+		t.Fatalf("ring len=%d total=%d dropped=%d, want 3/5/2", len(evs), tr.Total(), tr.Dropped())
+	}
+	for i, ev := range evs {
+		if ev.Segment != i+2 {
+			t.Fatalf("event %d is segment %d, want %d (oldest-first)", i, ev.Segment, i+2)
+		}
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("ops_total").Inc()
+				r.Histogram("lat").Observe(float64(i))
+				r.Gauge("depth").Max(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops_total").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("lat").Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+}

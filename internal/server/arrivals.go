@@ -1,0 +1,61 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"serpentine/internal/workload"
+)
+
+// Request is one retrieval arriving at the service: which segment,
+// and when on the virtual clock it showed up.
+type Request struct {
+	// ID numbers the request within its stream, in arrival order.
+	ID int
+	// Segment is the tape segment to retrieve.
+	Segment int
+	// ArrivalSec is the arrival time on the virtual clock.
+	ArrivalSec float64
+}
+
+// PoissonStream builds n requests with Poisson arrival times at
+// ratePerSec and segments drawn from gen — the online analogue of the
+// paper's uniformly random batches. Times and segments come from two
+// independent lrand48 streams derived from seed, so the same seed
+// reproduces the same trace regardless of how it is consumed.
+func PoissonStream(ratePerSec float64, n int, seed int64, gen workload.Generator) ([]Request, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("server: PoissonStream needs a segment generator")
+	}
+	times, err := workload.PoissonArrivals(ratePerSec, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{ID: i, Segment: gen.Batch(1)[0], ArrivalSec: times[i]}
+	}
+	return reqs, nil
+}
+
+// TraceStream builds a request stream from explicit (time, segment)
+// pairs, for replaying recorded workloads. The pairs are sorted by
+// arrival time (stably, preserving the given order of simultaneous
+// arrivals) and re-numbered in that order.
+func TraceStream(times []float64, segments []int) ([]Request, error) {
+	if len(times) != len(segments) {
+		return nil, fmt.Errorf("server: trace has %d times but %d segments", len(times), len(segments))
+	}
+	reqs := make([]Request, len(times))
+	for i := range reqs {
+		if times[i] < 0 {
+			return nil, fmt.Errorf("server: trace arrival %d at negative time %g", i, times[i])
+		}
+		reqs[i] = Request{ID: i, Segment: segments[i], ArrivalSec: times[i]}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].ArrivalSec < reqs[j].ArrivalSec })
+	for i := range reqs {
+		reqs[i].ID = i
+	}
+	return reqs, nil
+}

@@ -1,0 +1,60 @@
+package server
+
+import "fmt"
+
+// BatchPolicy selects when the server cuts a batch from the admission
+// queue and hands it to the scheduler. The paper's batch-size study
+// (Sections 5 and 7) is the closed-batch limit of this trade: bigger
+// batches give the scheduler more to optimize but hold early arrivals
+// hostage to later ones. The three policies span the spectrum.
+type BatchPolicy int
+
+const (
+	// QuiesceThenReplan serves the current batch to completion, then
+	// cuts everything that queued while the drive was busy as the
+	// next batch. Batch size adapts to load: light traffic degrades
+	// to one-at-a-time service, heavy traffic grows batches until the
+	// scheduler's gains catch up with the arrival rate.
+	QuiesceThenReplan BatchPolicy = iota
+	// ReplanOnArrival serves one request at a time off the current
+	// plan and re-schedules the remaining work from the current head
+	// position whenever new requests arrived during the last service
+	// — the incremental re-scheduling regime, maximum schedule
+	// freshness for a planning cost on every arrival burst.
+	ReplanOnArrival
+	// FixedWindow cuts a batch at every multiple of the window
+	// length, serving everything that arrived up to and including the
+	// boundary. Arrival exactly at a boundary joins that window's
+	// batch. The schedule-quality/startup-latency trade becomes an
+	// explicit knob: the window.
+	FixedWindow
+)
+
+// String names the policy for tables and metric labels.
+func (p BatchPolicy) String() string {
+	switch p {
+	case QuiesceThenReplan:
+		return "quiesce"
+	case ReplanOnArrival:
+		return "replan-on-arrival"
+	case FixedWindow:
+		return "fixed-window"
+	}
+	return fmt.Sprintf("BatchPolicy(%d)", int(p))
+}
+
+// PolicyByName returns the named policy, or an error listing the
+// valid names.
+func PolicyByName(name string) (BatchPolicy, error) {
+	for _, p := range AllPolicies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("server: unknown batch policy %q (want quiesce, replan-on-arrival or fixed-window)", name)
+}
+
+// AllPolicies returns every batching policy, in sweep order.
+func AllPolicies() []BatchPolicy {
+	return []BatchPolicy{QuiesceThenReplan, ReplanOnArrival, FixedWindow}
+}

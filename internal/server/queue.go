@@ -1,0 +1,79 @@
+package server
+
+// AdmissionQueue is the server's bounded FIFO admission queue.
+// Arrivals that find the queue full are rejected permanently — an
+// online tape service sheds load at admission rather than queueing
+// without bound, because a request queued behind hours of tape motion
+// is worse than an immediate "try later". The queue tracks its
+// admission counters and high-water depth for the metrics dump.
+//
+// The queue is not safe for concurrent use: the server is a
+// single-goroutine event loop per drive, like the drive itself.
+type AdmissionQueue struct {
+	capacity int
+	reqs     []Request
+	head     int
+	admitted int
+	rejected int
+	maxDepth int
+}
+
+// NewAdmissionQueue returns a queue admitting at most capacity
+// requests at a time; capacity < 1 selects 1.
+func NewAdmissionQueue(capacity int) *AdmissionQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &AdmissionQueue{capacity: capacity}
+}
+
+// Cap returns the admission capacity.
+func (q *AdmissionQueue) Cap() int { return q.capacity }
+
+// Len returns the number of queued requests.
+func (q *AdmissionQueue) Len() int { return len(q.reqs) - q.head }
+
+// Offer admits one request, or rejects it when the queue is full.
+func (q *AdmissionQueue) Offer(r Request) bool {
+	if q.Len() >= q.capacity {
+		q.rejected++
+		return false
+	}
+	q.reqs = append(q.reqs, r)
+	q.admitted++
+	if d := q.Len(); d > q.maxDepth {
+		q.maxDepth = d
+	}
+	return true
+}
+
+// PopN removes and returns up to n requests in arrival order; n <= 0
+// drains the whole queue. The returned slice is owned by the caller.
+func (q *AdmissionQueue) PopN(n int) []Request {
+	depth := q.Len()
+	if n <= 0 || n > depth {
+		n = depth
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Request, n)
+	copy(out, q.reqs[q.head:q.head+n])
+	q.head += n
+	// Compact once the dead prefix dominates, keeping Offer amortized
+	// O(1) without unbounded growth.
+	if q.head > len(q.reqs)/2 {
+		q.reqs = append(q.reqs[:0], q.reqs[q.head:]...)
+		q.head = 0
+	}
+	return out
+}
+
+// Admitted returns the number of requests ever admitted.
+func (q *AdmissionQueue) Admitted() int { return q.admitted }
+
+// Rejected returns the number of requests turned away at admission.
+func (q *AdmissionQueue) Rejected() int { return q.rejected }
+
+// MaxDepth returns the high-water queue depth.
+func (q *AdmissionQueue) MaxDepth() int { return q.maxDepth }

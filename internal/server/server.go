@@ -1,0 +1,501 @@
+// Package server is the online serving layer: the paper's scheduling
+// algorithms put behind an arrival stream. Requests arrive on the
+// virtual clock (Poisson or trace-driven), pass a bounded admission
+// queue, are cut into batches by a configurable batching policy, and
+// execute on the emulated drive through the recovering executor —
+// re-scheduled incrementally from the current head position, so any
+// of LOSS/SLTF/SCAN/WEAVE serves an open-ended stream rather than a
+// closed trial.
+//
+// Everything runs on the virtual clock: the drive charges busy time,
+// the server account idles between arrivals and window boundaries,
+// and a request's sojourn is completion time minus arrival time. A
+// run is a pure function of its configuration — no wall clock, no
+// global state — which is what lets the arrival-rate sweeps promise
+// byte-identical output at any worker count.
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"serpentine/internal/core"
+	"serpentine/internal/drive"
+	"serpentine/internal/fault"
+	"serpentine/internal/geometry"
+	"serpentine/internal/locate"
+	"serpentine/internal/obs"
+	"serpentine/internal/sim"
+	"serpentine/internal/stats"
+)
+
+// Config describes one online serving run.
+type Config struct {
+	// Serial selects the cartridge; 0 selects 1.
+	Serial int64
+	// Scheduler plans each batch; nil selects LOSS.
+	Scheduler core.Scheduler
+	// Policy selects the batching policy.
+	Policy BatchPolicy
+	// WindowSec is the FixedWindow period; 0 selects 600.
+	WindowSec float64
+	// QueueCap bounds the admission queue; 0 selects 1024.
+	QueueCap int
+	// MaxBatch caps the requests per cut batch; 0 means unbounded.
+	MaxBatch int
+	// ReadLen is the per-request transfer length; 0 means 1.
+	ReadLen int
+	// Retry bounds the executor's recovery.
+	Retry sim.RetryPolicy
+	// Faults arms the drive with an injector when any rate is
+	// non-zero.
+	Faults fault.Config
+	// Reg receives the run's metrics; nil creates a fresh registry
+	// (exposed in the Result either way).
+	Reg *obs.Registry
+	// Labels are added to every metric series the run emits; the
+	// sweeps pass the cell coordinates here.
+	Labels []obs.Label
+	// TraceCap, when positive, attaches a bounded trace of the most
+	// recent drive operations to the registry.
+	TraceCap int
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Alg and Policy identify the cell.
+	Alg    string
+	Policy BatchPolicy
+
+	// Served, Failed and Rejected partition the stream: completed
+	// retrievals, permanent drive-level failures, and admissions
+	// turned away at a full queue.
+	Served, Failed, Rejected int
+
+	// Sojourn accumulates completion − arrival per served request;
+	// SojournTimes retains the samples for percentiles.
+	Sojourn      stats.Accumulator
+	SojournTimes []float64
+	// Service accumulates completion − dispatch per served request,
+	// where dispatch is the start of the batch execution that served
+	// it (for ReplanOnArrival: the start of the request's own
+	// single-request execution).
+	Service      stats.Accumulator
+	ServiceTimes []float64
+
+	// Batches counts cut batches; BatchDurations their executed
+	// virtual durations, in order.
+	Batches        int
+	BatchDurations []float64
+
+	// IncrementalReplans counts re-schedules forced by arrivals
+	// landing during service (ReplanOnArrival only). The executor's
+	// own fault-recovery work is totalled alongside.
+	IncrementalReplans int
+	Retries            int
+	Replans            int
+	Recalibrations     int
+	Fallbacks          int
+	RecoverySec        float64
+
+	// MakespanSec is the virtual time from zero to the last
+	// completion; BusySec the drive's share of it; IdleSec the rest.
+	MakespanSec float64
+	BusySec     float64
+	IdleSec     float64
+	// FinalHead is the head position after the last batch.
+	FinalHead int
+	// MaxQueueDepth is the admission queue's high-water mark.
+	MaxQueueDepth int
+
+	// Reg is the registry the run's metrics went to.
+	Reg *obs.Registry
+}
+
+// SojournP returns the p-th percentile sojourn time, or 0 when
+// nothing was served (an idle stream reports NaN-free zeros).
+func (r *Result) SojournP(p float64) float64 {
+	return stats.PercentileOrZero(r.SojournTimes, p)
+}
+
+// ServiceP returns the p-th percentile service time, or 0 when
+// nothing was served.
+func (r *Result) ServiceP(p float64) float64 {
+	return stats.PercentileOrZero(r.ServiceTimes, p)
+}
+
+// ThroughputPerHour is completed retrievals per hour of virtual time,
+// 0 for an empty or degenerate run.
+func (r *Result) ThroughputPerHour() float64 {
+	if r.Served <= 0 || !(r.MakespanSec > 0) || math.IsInf(r.MakespanSec, 0) {
+		return 0
+	}
+	return float64(r.Served) / r.MakespanSec * 3600
+}
+
+// state is one run's event loop.
+type state struct {
+	cfg     Config
+	model   locate.Cost
+	drv     *drive.Drive
+	exec    *sim.Executor
+	sched   core.Scheduler
+	queue   *AdmissionQueue
+	reg     *obs.Registry
+	labels  []obs.Label
+	readLen int
+
+	arrivals []Request
+	next     int     // next un-admitted arrival
+	idle     float64 // accumulated idle time on top of the drive clock
+
+	res Result
+}
+
+// now is the server's virtual clock: drive busy time plus accounted
+// idle.
+func (s *state) now() float64 { return s.drv.Clock() + s.idle }
+
+// idleUntil advances the virtual clock to t by accounting idle time.
+func (s *state) idleUntil(t float64) {
+	if d := t - s.now(); d > 0 {
+		s.idle += d
+	}
+}
+
+// admit moves every arrival with ArrivalSec <= until into the queue,
+// rejecting at capacity. It returns how many were admitted.
+func (s *state) admit(until float64) int {
+	n := 0
+	for s.next < len(s.arrivals) && s.arrivals[s.next].ArrivalSec <= until {
+		r := s.arrivals[s.next]
+		s.next++
+		if s.queue.Offer(r) {
+			n++
+		} else {
+			s.res.Rejected++
+			s.counter("rejected_total").Inc()
+		}
+	}
+	return n
+}
+
+func (s *state) counter(name string, extra ...obs.Label) *obs.Counter {
+	return s.reg.Counter(name, append(extra, s.labels...)...)
+}
+
+func (s *state) histogram(name string, extra ...obs.Label) *obs.Histogram {
+	return s.reg.Histogram(name, append(extra, s.labels...)...)
+}
+
+func (s *state) gauge(name string, extra ...obs.Label) *obs.Gauge {
+	return s.reg.Gauge(name, append(extra, s.labels...)...)
+}
+
+// Run serves the arrival stream to completion and returns the run's
+// summary. The arrivals must be in non-decreasing time order with
+// non-negative times and in-range segments; a malformed stream is an
+// error, not a partial run.
+func Run(cfg Config, arrivals []Request) (*Result, error) {
+	serial := cfg.Serial
+	if serial == 0 {
+		serial = 1
+	}
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = core.NewLOSS()
+	}
+	readLen := cfg.ReadLen
+	if readLen < 1 {
+		readLen = 1
+	}
+	queueCap := cfg.QueueCap
+	if queueCap <= 0 {
+		queueCap = 1024
+	}
+	if cfg.WindowSec == 0 {
+		cfg.WindowSec = 600
+	}
+	if cfg.WindowSec < 0 || math.IsNaN(cfg.WindowSec) || math.IsInf(cfg.WindowSec, 0) {
+		return nil, fmt.Errorf("server: window of %g seconds", cfg.WindowSec)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("server: faults: %w", err)
+	}
+
+	tape, err := geometry.Generate(geometry.DLT4000(), serial)
+	if err != nil {
+		return nil, fmt.Errorf("server: tape: %w", err)
+	}
+	model, err := locate.FromKeyPoints(tape.KeyPoints())
+	if err != nil {
+		return nil, fmt.Errorf("server: model: %w", err)
+	}
+	last := model.Segments() - readLen
+	prev := 0.0
+	for i, r := range arrivals {
+		if r.Segment < 0 || r.Segment > last {
+			return nil, fmt.Errorf("server: arrival %d (segment %d) out of range [0,%d]", i, r.Segment, last)
+		}
+		if math.IsNaN(r.ArrivalSec) || math.IsInf(r.ArrivalSec, 0) || r.ArrivalSec < prev {
+			return nil, fmt.Errorf("server: arrival %d at %g violates time order (previous %g)", i, r.ArrivalSec, prev)
+		}
+		prev = r.ArrivalSec
+	}
+
+	reg := cfg.Reg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	drv := drive.New(tape)
+	if cfg.Faults.Enabled() {
+		drv.AttachFaults(fault.New(cfg.Faults))
+	}
+
+	s := &state{
+		cfg:      cfg,
+		model:    model,
+		drv:      drv,
+		exec:     &sim.Executor{Drive: drv, Scheduler: sched, Policy: cfg.Retry},
+		sched:    sched,
+		queue:    NewAdmissionQueue(queueCap),
+		reg:      reg,
+		labels:   cfg.Labels,
+		readLen:  readLen,
+		arrivals: arrivals,
+	}
+	s.res.Alg = sched.Name()
+	s.res.Policy = cfg.Policy
+	s.res.Reg = reg
+
+	// Observability: every drive operation feeds per-op counters and
+	// latency histograms, plus the bounded trace when asked for.
+	tr := reg.Trace()
+	if cfg.TraceCap > 0 {
+		tr = reg.AttachTrace(cfg.TraceCap)
+	}
+	drv.AttachTrace(func(ev obs.TraceEvent) {
+		s.counter("drive_ops_total", obs.L("op", ev.Op)).Inc()
+		s.histogram("drive_op_seconds", obs.L("op", ev.Op)).Observe(ev.ElapsedSec)
+		if ev.Err != "" {
+			s.counter("drive_errors_total", obs.L("class", ev.Err)).Inc()
+		}
+		if tr != nil {
+			tr.Add(ev)
+		}
+	})
+
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	return &s.res, nil
+}
+
+// run is the event loop: admit, idle to the next event, cut a batch
+// per the policy, serve it, repeat until the stream drains.
+func (s *state) run() error {
+	for s.next < len(s.arrivals) || s.queue.Len() > 0 {
+		s.admit(s.now())
+		if s.queue.Len() == 0 {
+			// Nothing admitted and nothing queued: idle to the next
+			// arrival. (The loop condition guarantees one exists —
+			// everything before now() was already admitted.)
+			s.idleUntil(s.arrivals[s.next].ArrivalSec)
+			s.admit(s.now())
+			continue
+		}
+		if s.cfg.Policy == FixedWindow {
+			// Cut at the next multiple of the window (possibly now,
+			// when now() is exactly on a boundary). An arrival at
+			// exactly the boundary joins this batch.
+			boundary := s.cfg.WindowSec * math.Ceil(s.now()/s.cfg.WindowSec)
+			s.idleUntil(boundary)
+			s.admit(boundary)
+		}
+		batch := s.queue.PopN(s.cfg.MaxBatch)
+		var err error
+		if s.cfg.Policy == ReplanOnArrival {
+			err = s.serveIncremental(batch)
+		} else {
+			err = s.serveBatch(batch)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	s.res.MakespanSec = s.now()
+	s.res.BusySec = s.drv.Clock()
+	s.res.IdleSec = s.idle
+	s.res.FinalHead = s.drv.Position()
+	s.res.MaxQueueDepth = s.queue.MaxDepth()
+	s.gauge("queue_depth_max").Max(float64(s.queue.MaxDepth()))
+	s.gauge("clock_seconds").Set(s.res.MakespanSec)
+	s.gauge("busy_seconds").Set(s.res.BusySec)
+	return nil
+}
+
+// serveBatch plans and executes one batch as a unit (QuiesceThenReplan
+// and FixedWindow).
+func (s *state) serveBatch(batch []Request) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	segs := make([]int, len(batch))
+	for i, r := range batch {
+		segs[i] = r.Segment
+	}
+	prob := &core.Problem{Start: s.drv.Position(), Requests: segs, ReadLen: s.readLen, Cost: s.model}
+	plan, err := s.sched.Schedule(prob)
+	if err != nil {
+		return fmt.Errorf("server: scheduling batch of %d: %w", len(batch), err)
+	}
+	dispatch := s.now()
+	er, err := s.exec.Execute(prob, plan)
+	if err != nil {
+		return fmt.Errorf("server: executing batch of %d: %w", len(batch), err)
+	}
+	s.recordExec(batch, &er, dispatch)
+	s.recordCut(len(batch), er.ElapsedSec)
+	return nil
+}
+
+// serveIncremental serves a batch one request at a time off the
+// current plan, re-scheduling the remainder from the current head
+// whenever arrivals landed during the last service (and after any
+// recalibration disturbed the head position).
+func (s *state) serveIncremental(batch []Request) error {
+	pending := append([]Request(nil), batch...)
+	order, err := s.planOrder(pending)
+	if err != nil {
+		return err
+	}
+	cutStart := s.now()
+	size := len(batch)
+	for len(pending) > 0 {
+		seg := order[0]
+		order = order[1:]
+		idx := indexOfSegment(pending, seg)
+		if idx < 0 {
+			return fmt.Errorf("server: plan serves segment %d not in the pending set", seg)
+		}
+		req := pending[idx]
+		pending = append(pending[:idx], pending[idx+1:]...)
+
+		prob := &core.Problem{Start: s.drv.Position(), Requests: []int{seg}, ReadLen: s.readLen, Cost: s.model}
+		dispatch := s.now()
+		er, err := s.exec.Execute(prob, core.Plan{Order: []int{seg}})
+		if err != nil {
+			return fmt.Errorf("server: executing request %d: %w", req.ID, err)
+		}
+		s.recordExec([]Request{req}, &er, dispatch)
+
+		// Admit what arrived while the drive was busy; new work (or a
+		// recovery that moved the head) invalidates the remaining
+		// order, so re-plan from the current position.
+		merged := 0
+		if s.admit(s.now()) > 0 {
+			fresh := s.queue.PopN(0)
+			merged = len(fresh)
+			size += merged
+			pending = append(pending, fresh...)
+		}
+		if len(pending) == 0 {
+			continue
+		}
+		if merged > 0 || er.Recalibrations > 0 || len(order) == 0 {
+			if merged > 0 {
+				s.res.IncrementalReplans++
+				s.counter("incremental_replans_total").Inc()
+			}
+			if order, err = s.planOrder(pending); err != nil {
+				return err
+			}
+		}
+	}
+	s.recordCut(size, s.now()-cutStart)
+	return nil
+}
+
+// recordCut accounts one cut batch: how many requests it grew to and
+// how long its service span took.
+func (s *state) recordCut(size int, elapsed float64) {
+	s.res.Batches++
+	s.res.BatchDurations = append(s.res.BatchDurations, elapsed)
+	s.histogram("batch_seconds").Observe(elapsed)
+	s.histogram("batch_size").Observe(float64(size))
+}
+
+// planOrder schedules the pending requests from the current head.
+func (s *state) planOrder(pending []Request) ([]int, error) {
+	segs := make([]int, len(pending))
+	for i, r := range pending {
+		segs[i] = r.Segment
+	}
+	prob := &core.Problem{Start: s.drv.Position(), Requests: segs, ReadLen: s.readLen, Cost: s.model}
+	plan, err := s.sched.Schedule(prob)
+	if err != nil {
+		return nil, fmt.Errorf("server: scheduling %d pending: %w", len(pending), err)
+	}
+	if err := core.CheckPermutation(segs, plan.Order); err != nil {
+		return nil, fmt.Errorf("server: %s plan: %w", s.sched.Name(), err)
+	}
+	return plan.Order, nil
+}
+
+// indexOfSegment returns the first pending request for seg, or -1.
+func indexOfSegment(pending []Request, seg int) int {
+	for i, r := range pending {
+		if r.Segment == seg {
+			return i
+		}
+	}
+	return -1
+}
+
+// recordExec folds one execution's outcomes into the result and the
+// metrics: per-request sojourn and service times for the served, the
+// failure split, and the executor's recovery counters.
+func (s *state) recordExec(batch []Request, er *sim.ExecResult, dispatch float64) {
+	// Map each served/failed segment occurrence back to its request,
+	// FIFO per segment (duplicates are legal in a stream).
+	bySeg := make(map[int][]Request, len(batch))
+	for _, r := range batch {
+		bySeg[r.Segment] = append(bySeg[r.Segment], r)
+	}
+	take := func(seg int) (Request, bool) {
+		q := bySeg[seg]
+		if len(q) == 0 {
+			return Request{}, false
+		}
+		r := q[0]
+		bySeg[seg] = q[1:]
+		return r, true
+	}
+
+	for i, seg := range er.Served {
+		req, ok := take(seg)
+		if !ok {
+			continue
+		}
+		completion := dispatch + er.Completions[i]
+		sojourn := completion - req.ArrivalSec
+		service := er.Completions[i]
+		s.res.Served++
+		s.res.Sojourn.Add(sojourn)
+		s.res.SojournTimes = append(s.res.SojournTimes, sojourn)
+		s.res.Service.Add(service)
+		s.res.ServiceTimes = append(s.res.ServiceTimes, service)
+		s.counter("served_total").Inc()
+		s.histogram("sojourn_seconds").Observe(sojourn)
+		s.histogram("service_seconds").Observe(service)
+	}
+	for range er.Failed {
+		s.res.Failed++
+		s.counter("failed_total").Inc()
+	}
+	s.res.Retries += er.Retries
+	s.res.Replans += er.Replans
+	s.res.Recalibrations += er.Recalibrations
+	s.res.Fallbacks += er.Fallbacks
+	s.res.RecoverySec += er.RecoverySec
+}

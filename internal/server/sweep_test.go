@@ -1,0 +1,85 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"serpentine/internal/core"
+	"serpentine/internal/obs"
+)
+
+// smallSweep is a sweep config small enough for the test suite but
+// still covering multiple rates, policies and schedulers.
+func smallSweep(workers int, reg *obs.Registry) SweepConfig {
+	return SweepConfig{
+		RatesPerHour: []float64{60, 120},
+		Policies:     AllPolicies(),
+		Schedulers:   []core.Scheduler{core.Sort{}, core.NewLOSS()},
+		Requests:     30,
+		Seed:         42,
+		Workers:      workers,
+		Reg:          reg,
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers is the determinism contract:
+// the rendered table and the merged metrics dump are byte-identical
+// whether the cells run on one worker or eight.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) (table, prom string) {
+		t.Helper()
+		reg := obs.NewRegistry()
+		cells, err := Sweep(smallSweep(workers, reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tb, pb bytes.Buffer
+		if err := WriteOnline(&tb, cells); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WriteProm(&pb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.String(), pb.String()
+	}
+	t1, p1 := render(1)
+	t8, p8 := render(8)
+	if t1 != t8 {
+		t.Fatalf("sweep table differs between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", t1, t8)
+	}
+	if p1 != p8 {
+		t.Fatalf("merged metrics dump differs between 1 and 8 workers")
+	}
+	// And a rerun at the same worker count reproduces itself.
+	t8b, p8b := render(8)
+	if t8 != t8b || p8 != p8b {
+		t.Fatal("sweep is not reproducible across reruns")
+	}
+}
+
+func TestSweepCellOrderMatchesSpec(t *testing.T) {
+	cells, err := Sweep(smallSweep(4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 3 * 2 // rates x policies x schedulers
+	if len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	i := 0
+	for _, rate := range []float64{60, 120} {
+		for _, pol := range AllPolicies() {
+			for _, alg := range []string{"SORT", "LOSS"} {
+				c := cells[i]
+				if c.RatePerHour != rate || c.Policy != pol || c.Alg != alg {
+					t.Fatalf("cell %d = (%g,%s,%s), want (%g,%s,%s)",
+						i, c.RatePerHour, c.Policy, c.Alg, rate, pol, alg)
+				}
+				if c.Result == nil || c.Result.Served+c.Result.Failed+c.Result.Rejected != 30 {
+					t.Fatalf("cell %d did not account for all 30 requests: %+v", i, c.Result)
+				}
+				i++
+			}
+		}
+	}
+}

@@ -107,10 +107,7 @@ func (r ChainResult) IOsPerHour() float64 {
 // P99CompletionSec is the 99th-percentile per-request completion time
 // of the measured batches, or 0 when nothing completed.
 func (r ChainResult) P99CompletionSec() float64 {
-	if len(r.Completions) == 0 {
-		return 0
-	}
-	return stats.Percentile(r.Completions, 99)
+	return stats.PercentileOrZero(r.Completions, 99)
 }
 
 // BatchChain runs the chained-batch experiment.

@@ -47,12 +47,12 @@ func fuzzFixture(t testing.TB) (*geometry.Tape, *locate.Model) {
 // fault-free baseline.
 func FuzzExecutorReplan(f *testing.F) {
 	// seed, nRequests, transient, overshoot, lost, media, start, tinyBudget
-	f.Add(int64(1), byte(8), byte(0), byte(0), byte(0), byte(0), uint16(0), false)     // fault-free
-	f.Add(int64(2), byte(12), byte(128), byte(0), byte(0), byte(0), uint16(100), false) // transient storm
-	f.Add(int64(3), byte(12), byte(0), byte(128), byte(0), byte(0), uint16(200), false) // overshoot storm
-	f.Add(int64(4), byte(12), byte(0), byte(0), byte(128), byte(0), uint16(300), false) // lost-position storm
-	f.Add(int64(5), byte(12), byte(0), byte(0), byte(0), byte(128), uint16(400), false) // media storm
-	f.Add(int64(6), byte(24), byte(64), byte(32), byte(32), byte(16), uint16(500), true) // mixed + tiny budget
+	f.Add(int64(1), byte(8), byte(0), byte(0), byte(0), byte(0), uint16(0), false)           // fault-free
+	f.Add(int64(2), byte(12), byte(128), byte(0), byte(0), byte(0), uint16(100), false)      // transient storm
+	f.Add(int64(3), byte(12), byte(0), byte(128), byte(0), byte(0), uint16(200), false)      // overshoot storm
+	f.Add(int64(4), byte(12), byte(0), byte(0), byte(128), byte(0), uint16(300), false)      // lost-position storm
+	f.Add(int64(5), byte(12), byte(0), byte(0), byte(0), byte(128), uint16(400), false)      // media storm
+	f.Add(int64(6), byte(24), byte(64), byte(32), byte(32), byte(16), uint16(500), true)     // mixed + tiny budget
 	f.Add(int64(7), byte(31), byte(255), byte(255), byte(255), byte(255), uint16(999), true) // saturated
 
 	f.Fuzz(func(t *testing.T, seed int64, n, tr, ov, lost, media byte, start uint16, tinyBudget bool) {

@@ -143,6 +143,17 @@ func StdDev(xs []float64) float64 {
 	return a.StdDev()
 }
 
+// PercentileOrZero returns Percentile(xs, p), or 0 for an empty xs.
+// Online serving emits idle measurement windows — a batching window
+// in which nothing completed — and a summary of such a window must
+// report a NaN-free zero rather than panic.
+func PercentileOrZero(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Percentile(xs, p)
+}
+
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using
 // linear interpolation between closest ranks. It panics on an empty
 // slice or out-of-range p. xs is not modified.

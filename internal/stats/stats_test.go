@@ -211,3 +211,53 @@ func TestMergeCombinesDroppedCounts(t *testing.T) {
 		t.Fatalf("all-dropped merge lost the count: %d", b.Dropped())
 	}
 }
+
+func TestPercentileOrZero(t *testing.T) {
+	if got := PercentileOrZero(nil, 99); got != 0 {
+		t.Fatalf("PercentileOrZero(nil) = %g, want 0", got)
+	}
+	if got := PercentileOrZero([]float64{}, 50); got != 0 {
+		t.Fatalf("PercentileOrZero(empty) = %g, want 0", got)
+	}
+	if got := PercentileOrZero([]float64{3, 1, 2}, 50); got != 2 {
+		t.Fatalf("PercentileOrZero = %g, want 2", got)
+	}
+	if math.IsNaN(PercentileOrZero(nil, 99)) {
+		t.Fatal("PercentileOrZero went NaN")
+	}
+}
+
+// TestIdleWindowSummaryNaNFree is the regression test for the online
+// server's idle measurement windows: a window in which every sample
+// was dropped (or none arrived at all) must summarize — including
+// after a Merge — as NaN-free zeros, never panic.
+func TestIdleWindowSummaryNaNFree(t *testing.T) {
+	var idle Accumulator
+	idle.Add(math.NaN())
+	idle.Add(math.Inf(1))
+	for name, v := range map[string]float64{
+		"mean": idle.Mean(), "sd": idle.StdDev(),
+		"min": idle.Min(), "max": idle.Max(),
+	} {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("all-dropped accumulator %s = %g, want 0", name, v)
+		}
+	}
+	// p99 of the idle window's (empty) completion set.
+	if got := PercentileOrZero(nil, 99); got != 0 || math.IsNaN(got) {
+		t.Fatalf("idle-window p99 = %g, want 0", got)
+	}
+	// Merging idle windows in either direction stays NaN-free.
+	var busy Accumulator
+	busy.Add(2)
+	idle.Merge(&busy)
+	if idle.N() != 1 || idle.Dropped() != 2 || math.IsNaN(idle.Mean()) {
+		t.Fatalf("idle<-busy merge: n=%d dropped=%d mean=%g", idle.N(), idle.Dropped(), idle.Mean())
+	}
+	var idle2, total Accumulator
+	idle2.Add(math.NaN())
+	total.Merge(&idle2)
+	if total.N() != 0 || total.Dropped() != 1 || math.IsNaN(total.Mean()) || math.IsNaN(total.StdDev()) {
+		t.Fatalf("busy<-idle merge: n=%d dropped=%d mean=%g", total.N(), total.Dropped(), total.Mean())
+	}
+}

@@ -7,6 +7,42 @@ import (
 	"serpentine/internal/rand48"
 )
 
+// PoissonProcess is an open-ended Poisson arrival stream: exponential
+// inter-arrival gaps by inversion over the same lrand48 generator as
+// everything else. The online server draws from it incrementally, so
+// an arrival stream need not be materialized up front; PoissonArrivals
+// remains the batch convenience over the identical draw sequence.
+type PoissonProcess struct {
+	rng  *rand48.Source
+	rate float64
+	t    float64
+}
+
+// NewPoissonProcess returns a process with the given mean rate
+// (events per second), starting at time zero. It panics on a
+// non-positive rate; use PoissonArrivals for an error-returning
+// construction.
+func NewPoissonProcess(ratePerSec float64, seed int64) *PoissonProcess {
+	if ratePerSec <= 0 {
+		panic(fmt.Sprintf("workload: Poisson rate must be positive, got %g", ratePerSec))
+	}
+	return &PoissonProcess{rng: rand48.New(seed), rate: ratePerSec}
+}
+
+// Rate returns the mean event rate per second.
+func (p *PoissonProcess) Rate() float64 { return p.rate }
+
+// Next returns the next arrival time in seconds. Times are strictly
+// ascending.
+func (p *PoissonProcess) Next() float64 {
+	u := p.rng.Drand48()
+	for u == 0 {
+		u = p.rng.Drand48()
+	}
+	p.t += -math.Log(u) / p.rate
+	return p.t
+}
+
 // PoissonArrivals returns n arrival times (seconds, ascending) of a
 // Poisson process with the given mean rate (events per second),
 // generated from the same lrand48 stream as everything else:
@@ -21,16 +57,10 @@ func PoissonArrivals(ratePerSec float64, n int, seed int64) ([]float64, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("workload: negative event count %d", n)
 	}
-	rng := rand48.New(seed)
+	p := NewPoissonProcess(ratePerSec, seed)
 	out := make([]float64, n)
-	t := 0.0
 	for i := range out {
-		u := rng.Drand48()
-		for u == 0 {
-			u = rng.Drand48()
-		}
-		t += -math.Log(u) / ratePerSec
-		out[i] = t
+		out[i] = p.Next()
 	}
 	return out, nil
 }

@@ -65,3 +65,32 @@ func TestPoissonArrivalsValidation(t *testing.T) {
 		t.Fatal("zero count should yield an empty slice")
 	}
 }
+
+func TestPoissonProcessMatchesBatch(t *testing.T) {
+	batch, err := PoissonArrivals(0.02, 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoissonProcess(0.02, 9)
+	for i, want := range batch {
+		if got := p.Next(); got != want {
+			t.Fatalf("event %d: stream %g, batch %g — draw sequences diverged", i, got, want)
+		}
+	}
+	prev := 0.0
+	for _, v := range batch {
+		if v <= prev {
+			t.Fatalf("arrival times not strictly ascending: %g after %g", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestPoissonProcessRejectsBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPoissonProcess accepted rate 0")
+		}
+	}()
+	NewPoissonProcess(0, 1)
+}
