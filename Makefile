@@ -18,11 +18,11 @@ FUZZTIME ?= 30s
 # Tier-1 verify: build, vet, full test suite, and the race detector
 # over the parallel simulator plus the packages it drives concurrently
 # (the drive emulator, the scheduler suite, the online server and its
-# metrics registry).
+# metrics registry, and the multi-drive tape library).
 verify: vet
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/...
+	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/... ./internal/tertiary/...
 
 test:
 	$(GO) test ./...
@@ -35,7 +35,7 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/...
+	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/... ./internal/tertiary/...
 
 # Run the performance-critical benchmarks with allocation reporting:
 # the scheduler suite, the locate-model fast path, and the root-level
@@ -50,12 +50,14 @@ bench-json: bench
 	$(GO) run ./cmd/benchjson < $(BENCH_TXT) > $(BENCH_OUT)
 	rm -f $(BENCH_TXT)
 
-# Short fuzzing passes over the executor's replan path and the
-# server's admission queue — the two state machines arbitrary inputs
-# can reach. CI runs this on every PR; locally, raise FUZZTIME to dig.
+# Short fuzzing passes over the executor's replan path, the server's
+# admission queue, and the library batcher — the state machines
+# arbitrary inputs can reach. CI runs this on every PR; locally, raise
+# FUZZTIME to dig.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzExecutorReplan$$' -fuzztime $(FUZZTIME) ./internal/sim/
 	$(GO) test -run '^$$' -fuzz '^FuzzAdmissionQueue$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzLibraryBatcher$$' -fuzztime $(FUZZTIME) ./internal/tertiary/
 
 # Static analysis beyond vet, with pinned tool versions. Needs network
 # on first run to fetch the tools (CI caches them).
@@ -69,6 +71,7 @@ lint:
 results:
 	$(GO) run ./cmd/chaos > results/chaos.txt
 	$(GO) run ./cmd/serve > results/online.txt
+	$(GO) run ./cmd/library > results/library.txt
 
 clean:
 	rm -f $(BENCH_TXT)

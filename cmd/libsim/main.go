@@ -86,9 +86,25 @@ func main() {
 		batchLimits = append(batchLimits, n)
 	}
 
-	points, err := tertiary.Sweep(cfg, catalog, stream, batchLimits)
-	if err != nil {
-		log.Fatal(err)
+	// Serve the same stream once per batch limit; each run rebuilds
+	// the library so the runs are independent.
+	type point struct {
+		BatchLimit int
+		Metrics    tertiary.Metrics
+	}
+	points := make([]point, 0, len(batchLimits))
+	for _, limit := range batchLimits {
+		c := cfg
+		c.BatchLimit = limit
+		lib, err := tertiary.New(c, catalog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, m, err := lib.Run(stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		points = append(points, point{BatchLimit: limit, Metrics: m})
 	}
 
 	w := bufio.NewWriter(os.Stdout)

@@ -1,0 +1,513 @@
+package tertiary
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"serpentine/internal/core"
+	"serpentine/internal/drive"
+	"serpentine/internal/fault"
+	"serpentine/internal/obs"
+	"serpentine/internal/server"
+	"serpentine/internal/sim"
+)
+
+// driveState tracks one transport through the simulation. Emptiness
+// is an explicit flag, not a sentinel serial: cartridge serial 0 is
+// as legal as any other.
+type driveState struct {
+	id     int
+	dev    *drive.Drive
+	serial int64
+	loaded bool
+	idle   bool
+	busy   float64
+	passes float64
+	mounts int // exchanges into this drive, for fault-seed derivation
+}
+
+// driveEvent is one drive-becomes-idle event on the virtual clock.
+type driveEvent struct {
+	at    float64
+	drive int
+}
+
+// eventHeap is the shared virtual-time event heap the per-drive state
+// machines advance over. Ties break by drive id so the wake order —
+// and everything downstream of it — is deterministic.
+type eventHeap []driveEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].drive < h[j].drive
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(driveEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// runState is one Run's event loop.
+type runState struct {
+	l         *Library
+	cfg       Config
+	arrivals  []pending // in arrival order; index is the request ID
+	next      int       // next un-admitted arrival
+	queueCap  int
+	adm       *server.AdmissionQueue
+	q         *batchQueue
+	drives    []*driveState
+	events    eventHeap
+	robotFree float64 // virtual time the robot arm finishes its last exchange
+	reg       *obs.Registry
+	tr        *obs.Trace
+	done      []Completion
+	m         Metrics
+}
+
+func (s *runState) counter(name string, extra ...obs.Label) *obs.Counter {
+	return s.reg.Counter(name, append(extra, s.cfg.Labels...)...)
+}
+
+func (s *runState) histogram(name string, extra ...obs.Label) *obs.Histogram {
+	return s.reg.Histogram(name, append(extra, s.cfg.Labels...)...)
+}
+
+func (s *runState) gauge(name string, extra ...obs.Label) *obs.Gauge {
+	return s.reg.Gauge(name, append(extra, s.cfg.Labels...)...)
+}
+
+// Run serves every request and returns the completions (in completion
+// order) and run metrics. Requests may arrive at any time; the
+// simulation admits them through a bounded queue, groups the backlog
+// by cartridge, and dispatches idle drives per the batching policy,
+// preferring the cartridge with the oldest waiting request among
+// those with the most work, which bounds starvation while keeping
+// batches dense. A cartridge mounted in one drive is never picked by
+// another.
+func (l *Library) Run(requests []Request) ([]Completion, Metrics, error) {
+	s, err := l.newRun(requests)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+
+	// Central dispatch over the shared event heap: admit arrivals up
+	// to now, hand work to every idle drive, then advance the clock
+	// to the next drive completion, arrival, or window boundary.
+	now, boundary := 0.0, true
+	s.admit(now)
+	for {
+		if err := s.dispatch(now, boundary); err != nil {
+			return nil, Metrics{}, err
+		}
+		t, atBoundary, ok := s.nextTime(now)
+		if !ok {
+			break
+		}
+		now, boundary = t, atBoundary
+		s.wake(now)
+		s.admit(now)
+	}
+	if stranded := s.q.len() + s.adm.Len(); stranded > 0 || s.next < len(s.arrivals) {
+		return nil, Metrics{}, fmt.Errorf("tertiary: internal: %d requests stranded at end of run",
+			stranded+len(s.arrivals)-s.next)
+	}
+	s.finish()
+	return s.done, s.m, nil
+}
+
+// newRun resolves and validates the request stream and sets up the
+// event-loop state.
+func (l *Library) newRun(requests []Request) (*runState, error) {
+	arrivals := make([]pending, 0, len(requests))
+	for i, r := range requests {
+		o, ok := l.catalog.Get(r.ObjectID)
+		if !ok {
+			return nil, fmt.Errorf("tertiary: request for unknown object %q", r.ObjectID)
+		}
+		if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) {
+			return nil, fmt.Errorf("tertiary: request %d arrives at %g", i, r.Arrival)
+		}
+		arrivals = append(arrivals, pending{req: r, obj: o})
+	}
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].req.Arrival < arrivals[j].req.Arrival })
+
+	queueCap := l.cfg.QueueCap
+	admCap := queueCap
+	if queueCap <= 0 {
+		queueCap = math.MaxInt / 2
+		admCap = math.MaxInt / 2
+	}
+	reg := l.cfg.Reg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &runState{
+		l:        l,
+		cfg:      l.cfg,
+		arrivals: arrivals,
+		queueCap: queueCap,
+		adm:      server.NewAdmissionQueue(admCap),
+		q:        newBatchQueue(),
+		drives:   make([]*driveState, l.cfg.Drives),
+		reg:      reg,
+	}
+	for i := range s.drives {
+		s.drives[i] = &driveState{id: i, idle: true}
+	}
+	if l.cfg.TraceCap > 0 {
+		s.tr = reg.AttachTrace(l.cfg.TraceCap)
+	} else {
+		s.tr = reg.Trace()
+	}
+	return s, nil
+}
+
+// admit moves every arrival with Arrival <= until through the bounded
+// admission queue into the per-cartridge backlog, shedding load once
+// the pending backlog reaches QueueCap.
+func (s *runState) admit(until float64) {
+	for s.next < len(s.arrivals) && s.arrivals[s.next].req.Arrival <= until {
+		p := s.arrivals[s.next]
+		id := s.next
+		s.next++
+		if s.q.len()+s.adm.Len() >= s.queueCap ||
+			!s.adm.Offer(server.Request{ID: id, Segment: p.obj.Start, ArrivalSec: p.req.Arrival}) {
+			s.m.Rejected++
+			s.counter("rejected_total").Inc()
+		}
+	}
+	// Drain the admission queue into the robot's per-cartridge view.
+	for _, r := range s.adm.PopN(0) {
+		s.q.push(s.arrivals[r.ID])
+	}
+	if d := s.q.len(); d > s.m.MaxQueueDepth {
+		s.m.MaxQueueDepth = d
+	}
+}
+
+// excluded returns the cartridge serials d must not pick: those
+// loaded in any other drive. A cartridge is physically in one place.
+func (s *runState) excluded(d *driveState) map[int64]bool {
+	var ex map[int64]bool
+	for _, o := range s.drives {
+		if o != d && o.loaded {
+			if ex == nil {
+				ex = make(map[int64]bool, len(s.drives))
+			}
+			ex[o.serial] = true
+		}
+	}
+	return ex
+}
+
+// dispatch hands work to every idle drive, in drive-id order. Under
+// ReplanOnArrival a drive with work pending for its own mounted
+// cartridge keeps it (one request per dispatch, so every decision
+// sees the freshest queue); under FixedWindow nothing dispatches off
+// a window boundary.
+func (s *runState) dispatch(now float64, boundary bool) error {
+	if s.cfg.Policy == server.FixedWindow && !boundary {
+		return nil
+	}
+	if s.cfg.Policy == server.ReplanOnArrival {
+		for _, d := range s.drives {
+			if d.idle && d.loaded && s.q.perTape[d.serial] != nil {
+				if err := s.serve(d, d.serial, now); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, d := range s.drives {
+		if !d.idle {
+			continue
+		}
+		serial, ok := s.q.pick(s.excluded(d))
+		if !ok {
+			continue
+		}
+		if err := s.serve(d, serial, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nextTime returns the next virtual time anything can happen: a drive
+// completing, an arrival landing, or (FixedWindow, with work queued
+// and a drive to take it) the next window boundary. Every candidate
+// is strictly after now, so the loop always progresses.
+func (s *runState) nextTime(now float64) (t float64, boundary, ok bool) {
+	t = math.Inf(1)
+	if len(s.events) > 0 {
+		t, ok = s.events[0].at, true
+	}
+	if s.next < len(s.arrivals) {
+		if a := s.arrivals[s.next].req.Arrival; a < t {
+			t = a
+		}
+		ok = true
+	}
+	if s.cfg.Policy == server.FixedWindow && s.q.len() > 0 && s.anyIdle() {
+		b := s.cfg.WindowSec * math.Ceil(now/s.cfg.WindowSec)
+		for b <= now {
+			b += s.cfg.WindowSec
+		}
+		if b <= t {
+			t, boundary = b, true
+		}
+		ok = true
+	}
+	return t, boundary, ok
+}
+
+func (s *runState) anyIdle() bool {
+	for _, d := range s.drives {
+		if d.idle {
+			return true
+		}
+	}
+	return false
+}
+
+// wake pops every event at or before now, marking its drive idle.
+func (s *runState) wake(now float64) {
+	for len(s.events) > 0 && s.events[0].at <= now {
+		ev := heap.Pop(&s.events).(driveEvent)
+		s.drives[ev.drive].idle = true
+	}
+}
+
+// deriveFaultSeed gives every (cartridge, drive, mount) its own
+// injector stream, so fault sequences do not depend on dispatch
+// interleaving across drives.
+func deriveFaultSeed(base, serial int64, driveID, mount int) int64 {
+	return base*1000003 + serial*8191 + int64(driveID)*131 + int64(mount)*17 + 3
+}
+
+// exchange swaps the chosen cartridge into the drive through the
+// robot arm (one exchange at a time: a busy arm queues the swap) and
+// returns the rewind time charged to the outgoing cartridge and the
+// drive's total exchange delay including any wait for the arm.
+func (s *runState) exchange(d *driveState, serial int64, now float64) (rewind, delay float64) {
+	exDur := 0.0
+	if d.loaded {
+		rewind = d.dev.Rewind()
+		d.passes += d.dev.Stats().HeadPasses(s.cfg.Profile)
+		exDur += s.cfg.UnmountSec
+		s.m.Unmounts++
+		s.m.RobotMoves++
+		s.counter("unmounts_total").Inc()
+	}
+	exDur += s.cfg.MountSec
+	s.m.Mounts++
+	s.m.RobotMoves++
+	s.counter("mounts_total", obs.L("tape", strconv.FormatInt(serial, 10))).Inc()
+
+	wait := 0.0
+	exStart := now + rewind
+	if s.robotFree > exStart {
+		wait = s.robotFree - exStart
+		s.m.RobotWaitSec += wait
+		s.histogram("robot_wait_seconds").Observe(wait)
+	}
+	s.robotFree = exStart + wait + exDur
+	s.m.RobotBusySec += exDur
+
+	dev := drive.New(s.l.tapes[serial])
+	if s.cfg.Faults.Enabled() {
+		f := s.cfg.Faults
+		f.Seed = deriveFaultSeed(s.cfg.Faults.Seed, serial, d.id, d.mounts)
+		dev.AttachFaults(fault.New(f))
+	}
+	s.attachTrace(dev, d.id)
+	d.dev = dev
+	d.serial = serial
+	d.loaded = true
+	d.mounts++
+	return rewind, wait + exDur
+}
+
+// attachTrace feeds every drive operation into the per-op counters
+// and histograms, and the bounded trace ring when one is attached.
+// Tracing never perturbs drive timing.
+func (s *runState) attachTrace(dev *drive.Drive, driveID int) {
+	dl := obs.L("drive", strconv.Itoa(driveID))
+	dev.AttachTrace(func(ev obs.TraceEvent) {
+		s.counter("drive_ops_total", obs.L("op", ev.Op), dl).Inc()
+		s.histogram("drive_op_seconds", obs.L("op", ev.Op)).Observe(ev.ElapsedSec)
+		if ev.Err != "" {
+			s.counter("drive_errors_total", obs.L("class", ev.Err), dl).Inc()
+		}
+		if s.tr != nil {
+			s.tr.Add(ev)
+		}
+	})
+}
+
+// serve cuts a batch for the cartridge off the backlog and executes
+// it on the drive: exchange if needed, then one scheduling problem
+// per distinct extent length (the paper's model schedules fixed-size
+// requests; mixed sizes are served size class by size class, largest
+// class first), each executed through the recovering executor.
+func (s *runState) serve(d *driveState, serial int64, now float64) error {
+	limit := s.cfg.BatchLimit
+	if s.cfg.Policy == server.ReplanOnArrival {
+		limit = 1
+	}
+	batch := s.q.take(serial, limit)
+	if len(batch) == 0 {
+		return fmt.Errorf("tertiary: internal: dispatched empty batch for tape %d", serial)
+	}
+	d.idle = false
+
+	var rewind, delay float64
+	if !d.loaded || d.serial != serial {
+		rewind, delay = s.exchange(d, serial, now)
+	}
+	serveStart := now + rewind + delay
+	c0 := d.dev.Clock()
+
+	// Group the batch into size classes, biggest class first (count
+	// desc, then extent length asc — a deterministic order despite
+	// map iteration).
+	byLen := make(map[int][]pending)
+	for _, p := range batch {
+		byLen[p.obj.segments()] = append(byLen[p.obj.segments()], p)
+	}
+	lens := make([]int, 0, len(byLen))
+	for k := range byLen {
+		lens = append(lens, k)
+	}
+	sort.Slice(lens, func(i, j int) bool {
+		if len(byLen[lens[i]]) != len(byLen[lens[j]]) {
+			return len(byLen[lens[i]]) > len(byLen[lens[j]])
+		}
+		return lens[i] < lens[j]
+	})
+
+	for _, rl := range lens {
+		if err := s.serveClass(d, serial, serveStart, c0, rl, byLen[rl]); err != nil {
+			return err
+		}
+	}
+
+	elapsed := d.dev.Clock() - c0
+	end := serveStart + elapsed
+	d.busy += rewind + delay + elapsed
+	heap.Push(&s.events, driveEvent{at: end, drive: d.id})
+	if end > s.m.Makespan {
+		s.m.Makespan = end
+	}
+	s.m.Batches++
+	s.counter("batches_total").Inc()
+	s.histogram("batch_size").Observe(float64(len(batch)))
+	s.histogram("batch_seconds").Observe(rewind + delay + elapsed)
+	return nil
+}
+
+// serveClass schedules and executes one size class of the batch.
+// Duplicate extents are deduplicated before scheduling — one physical
+// read satisfies every pending request for the segment — and every
+// pending sharing a served segment completes at that read's time.
+func (s *runState) serveClass(d *driveState, serial int64, serveStart, c0 float64, rl int, group []pending) error {
+	uniq := make([]int, 0, len(group))
+	byStart := make(map[int][]pending, len(group))
+	for _, p := range group {
+		if _, dup := byStart[p.obj.Start]; !dup {
+			uniq = append(uniq, p.obj.Start)
+		}
+		byStart[p.obj.Start] = append(byStart[p.obj.Start], p)
+	}
+
+	prob := &core.Problem{Start: d.dev.Position(), Requests: uniq, ReadLen: rl, Cost: s.l.models[serial]}
+	plan, err := s.l.sched.Schedule(prob)
+	if err != nil {
+		return fmt.Errorf("tertiary: scheduling %d requests on tape %d: %w", len(uniq), serial, err)
+	}
+
+	ex := &sim.Executor{Drive: d.dev, Scheduler: s.l.sched, Policy: s.cfg.Retry}
+	base := d.dev.Clock()
+	er, err := ex.Execute(prob, plan)
+	if err != nil {
+		return fmt.Errorf("tertiary: executing %d requests on tape %d: %w", len(uniq), serial, err)
+	}
+
+	offset := base - c0
+	for i, seg := range er.Served {
+		ps := byStart[seg]
+		if len(ps) == 0 {
+			return fmt.Errorf("tertiary: schedule visits segment %d on tape %d more often than requested", seg, serial)
+		}
+		for _, p := range ps {
+			s.done = append(s.done, Completion{
+				Request: p.req, Object: p.obj,
+				Done:    serveStart + offset + er.Completions[i],
+				DriveID: d.id,
+			})
+			s.counter("served_total").Inc()
+			s.histogram("latency_seconds", obs.L("tape", strconv.FormatInt(serial, 10))).
+				Observe(serveStart + offset + er.Completions[i] - p.req.Arrival)
+		}
+		delete(byStart, seg)
+	}
+	for _, seg := range er.Failed {
+		ps := byStart[seg]
+		if len(ps) == 0 {
+			return fmt.Errorf("tertiary: schedule visits segment %d on tape %d more often than requested", seg, serial)
+		}
+		s.m.Failed += len(ps)
+		s.counter("failed_total").Add(int64(len(ps)))
+		delete(byStart, seg)
+	}
+	if len(byStart) > 0 {
+		return fmt.Errorf("tertiary: schedule for tape %d left %d segments unvisited", serial, len(byStart))
+	}
+	s.m.Retries += er.Retries
+	s.m.Replans += er.Replans
+	s.m.Recalibrations += er.Recalibrations
+	s.m.Fallbacks += er.Fallbacks
+	s.m.RecoverySec += er.RecoverySec
+	return nil
+}
+
+// finish retires the wear of still-loaded cartridges and folds the
+// completions into the summary metrics.
+func (s *runState) finish() {
+	for _, d := range s.drives {
+		if d.loaded {
+			d.passes += d.dev.Stats().HeadPasses(s.cfg.Profile)
+		}
+		s.m.DriveBusySec += d.busy
+		s.m.HeadPasses += d.passes
+		s.gauge("drive_busy_seconds", obs.L("drive", strconv.Itoa(d.id))).Set(d.busy)
+	}
+	var latSum float64
+	for _, c := range s.done {
+		s.m.Served++
+		lat := c.Latency()
+		latSum += lat
+		if lat > s.m.MaxLatency {
+			s.m.MaxLatency = lat
+		}
+		s.m.BytesRead += int64(c.Object.segments()) * s.cfg.Profile.SegmentBytes
+	}
+	if s.m.Served > 0 {
+		s.m.MeanLatency = latSum / float64(s.m.Served)
+	}
+	sort.SliceStable(s.done, func(i, j int) bool { return s.done[i].Done < s.done[j].Done })
+	s.gauge("makespan_seconds").Set(s.m.Makespan)
+	s.gauge("queue_depth_max").Max(float64(s.m.MaxQueueDepth))
+	s.gauge("robot_busy_seconds").Set(s.m.RobotBusySec)
+}

@@ -1,40 +1,333 @@
 package tertiary
 
-import "fmt"
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
-// SweepPoint is the outcome of serving one request stream under one
-// batch limit.
-type SweepPoint struct {
-	// BatchLimit is the cap on requests served per mount (0 = no
-	// cap).
-	BatchLimit int
-	// Metrics summarizes the run.
-	Metrics Metrics
+	"serpentine/internal/core"
+	"serpentine/internal/fault"
+	"serpentine/internal/geometry"
+	"serpentine/internal/obs"
+	"serpentine/internal/server"
+	"serpentine/internal/sim"
+	"serpentine/internal/workload"
+)
+
+// SweepConfig describes the library experiment: the same synthetic
+// store (tapes × objects, Zipf object popularity) served at every
+// (arrival rate, drive count, batch limit) cell, exposing the central
+// trade-off of online tertiary storage — larger batches cut the
+// per-retrieval positioning cost (the paper's whole point) but make
+// early requests wait for late ones, and more drives buy concurrency
+// at the price of robot-arm contention.
+type SweepConfig struct {
+	// Profile is the drive/cartridge format; zero value selects the
+	// DLT4000.
+	Profile geometry.Params
+	// TapeCount and Objects shape the store; 0 select 4 cartridges
+	// of 512 objects. ObjectSegments is the extent length per object;
+	// 0 selects 32 (1 MB on a DLT4000).
+	TapeCount      int
+	Objects        int
+	ObjectSegments int
+	// RatesPerHour are the Poisson arrival rates to sweep; nil
+	// selects {60, 120, 240}.
+	RatesPerHour []float64
+	// DriveCounts are the transport pool sizes; nil selects {1, 2}.
+	DriveCounts []int
+	// BatchLimits caps requests served per mount; nil selects
+	// {1, 16, 0} (0 = unlimited).
+	BatchLimits []int
+	// Requests is the stream length per cell; 0 selects 400.
+	Requests int
+	// MountSec, UnmountSec, Scheduler, Policy, WindowSec, QueueCap
+	// and Retry pass through to every cell's Config.
+	MountSec   float64
+	UnmountSec float64
+	Scheduler  core.Scheduler
+	Policy     server.BatchPolicy
+	WindowSec  float64
+	QueueCap   int
+	Retry      sim.RetryPolicy
+	// Faults arms every cell when any rate is non-zero. Its Seed is
+	// ignored: each cell derives an injector base seed from Seed and
+	// the cell coordinates.
+	Faults fault.Config
+	// Seed seeds each cell's arrival stream and object picks,
+	// derived per cell so results do not depend on sweep order or
+	// worker count.
+	Seed int64
+	// Workers bounds concurrent cells; 0 selects GOMAXPROCS.
+	Workers int
+	// Reg, when non-nil, receives every cell's metrics, merged in
+	// spec order after the parallel phase so the dump is identical
+	// at any worker count.
+	Reg *obs.Registry
 }
 
-// Sweep serves the same request stream repeatedly under different
-// batch limits and reports the resulting metrics, exposing the
-// central trade-off of online tertiary storage: larger batches cut
-// the per-retrieval positioning cost (the paper's whole point) but
-// make early requests wait for late ones. Each point rebuilds the
-// library so runs are independent.
-func Sweep(cfg Config, catalog *Catalog, requests []Request, batchLimits []int) ([]SweepPoint, error) {
-	if len(batchLimits) == 0 {
-		return nil, fmt.Errorf("tertiary: sweep needs at least one batch limit")
+// Cell is one (rate, drives, batch limit) outcome.
+type Cell struct {
+	RatePerHour float64
+	Drives      int
+	BatchLimit  int
+	Metrics     Metrics
+}
+
+// Sweep runs every cell of the library experiment. Cells run
+// concurrently up to cfg.Workers, sharing the read-only store (tapes,
+// locate models, catalog), but each cell is fully deterministic — its
+// arrival stream, object picks and injector seeds depend only on the
+// config and the cell coordinates — so the sweep's output is
+// identical at any worker count.
+func Sweep(cfg SweepConfig) ([]Cell, error) {
+	tapeCount := cfg.TapeCount
+	if tapeCount <= 0 {
+		tapeCount = 4
 	}
-	points := make([]SweepPoint, 0, len(batchLimits))
-	for _, limit := range batchLimits {
-		c := cfg
-		c.BatchLimit = limit
-		lib, err := New(c, catalog)
-		if err != nil {
-			return nil, fmt.Errorf("tertiary: sweep limit %d: %w", limit, err)
-		}
-		_, m, err := lib.Run(requests)
-		if err != nil {
-			return nil, fmt.Errorf("tertiary: sweep limit %d: %w", limit, err)
-		}
-		points = append(points, SweepPoint{BatchLimit: limit, Metrics: m})
+	objects := cfg.Objects
+	if objects <= 0 {
+		objects = 512
 	}
-	return points, nil
+	objSegs := cfg.ObjectSegments
+	if objSegs <= 0 {
+		objSegs = 32
+	}
+	rates := cfg.RatesPerHour
+	if rates == nil {
+		rates = []float64{60, 120, 240}
+	}
+	driveCounts := cfg.DriveCounts
+	if driveCounts == nil {
+		driveCounts = []int{1, 2}
+	}
+	limits := cfg.BatchLimits
+	if limits == nil {
+		limits = []int{1, 16, 0}
+	}
+	n := cfg.Requests
+	if n <= 0 {
+		n = 400
+	}
+
+	// Build the store once: the base library owns the tapes, locate
+	// models and catalog every cell shares read-only.
+	profile := cfg.Profile
+	if profile.Tracks == 0 {
+		profile = geometry.DLT4000()
+	}
+	catalog := NewCatalog()
+	serials := make([]int64, tapeCount)
+	for t := 0; t < tapeCount; t++ {
+		serial := int64(3000 + t)
+		serials[t] = serial
+		tape, err := geometry.Generate(profile, serial)
+		if err != nil {
+			return nil, fmt.Errorf("tertiary: sweep tape %d: %w", serial, err)
+		}
+		stride := tape.Segments() / objects
+		if stride < objSegs {
+			return nil, fmt.Errorf("tertiary: sweep: %d objects of %d segments overflow tape %d", objects, objSegs, serial)
+		}
+		for o := 0; o < objects; o++ {
+			if err := catalog.Put(Object{
+				ID:       sweepObjectID(t, o),
+				Tape:     serial,
+				Start:    o * stride,
+				Segments: objSegs,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	base, err := New(Config{Profile: profile, Tapes: serials, MountSec: cfg.MountSec, UnmountSec: cfg.UnmountSec}, catalog)
+	if err != nil {
+		return nil, fmt.Errorf("tertiary: sweep store: %w", err)
+	}
+
+	type cellSpec struct {
+		rateIdx, driveIdx, limitIdx int
+	}
+	var specs []cellSpec
+	for ri := range rates {
+		for di := range driveCounts {
+			for bi := range limits {
+				specs = append(specs, cellSpec{ri, di, bi})
+			}
+		}
+	}
+	cells := make([]Cell, len(specs))
+	regs := make([]*obs.Registry, len(specs))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		errs = make(chan error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				sp := specs[i]
+				rate := rates[sp.rateIdx]
+				drives := driveCounts[sp.driveIdx]
+				limit := limits[sp.limitIdx]
+				// One seed per cell coordinate: stable under
+				// sweep-order and worker-count changes.
+				seed := cfg.Seed*1000003 + int64(sp.rateIdx)*8191 + int64(sp.driveIdx)*521 + int64(sp.limitIdx)*131 + 7
+				stream, err := sweepStream(rate, n, seed, tapeCount, objects)
+				if err != nil {
+					reportErr(errs, fmt.Errorf("tertiary: sweep arrivals %g/h: %w", rate, err))
+					return
+				}
+				faults := cfg.Faults
+				if faults.Enabled() {
+					faults.Seed = seed + 3
+				}
+				reg := obs.NewRegistry()
+				lib := base.clone(Config{
+					Profile:    profile,
+					Tapes:      serials,
+					Drives:     drives,
+					MountSec:   cfg.MountSec,
+					UnmountSec: cfg.UnmountSec,
+					BatchLimit: limit,
+					Scheduler:  cfg.Scheduler,
+					Policy:     cfg.Policy,
+					WindowSec:  cfg.WindowSec,
+					QueueCap:   cfg.QueueCap,
+					Retry:      cfg.Retry,
+					Faults:     faults,
+					Reg:        reg,
+					Labels: []obs.Label{
+						obs.L("rate", fmt.Sprintf("%g", rate)),
+						obs.L("drives", strconv.Itoa(drives)),
+						obs.L("batch", strconv.Itoa(limit)),
+					},
+				})
+				_, m, err := lib.Run(stream)
+				if err != nil {
+					reportErr(errs, fmt.Errorf("tertiary: sweep cell %g/h %dd limit %d: %w", rate, drives, limit, err))
+					return
+				}
+				cells[i] = Cell{RatePerHour: rate, Drives: drives, BatchLimit: limit, Metrics: m}
+				regs[i] = reg
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	if cfg.Reg != nil {
+		// Merge in spec order so the aggregated dump is independent
+		// of which worker ran which cell.
+		for _, r := range regs {
+			cfg.Reg.Merge(r)
+		}
+	}
+	return cells, nil
+}
+
+// clone shares the base library's read-only store (tapes, locate
+// models, catalog) under a different per-cell configuration.
+func (l *Library) clone(cfg Config) *Library {
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = core.NewAuto()
+	}
+	return &Library{
+		cfg:     cfg.withDefaults(),
+		catalog: l.catalog,
+		tapes:   l.tapes,
+		models:  l.models,
+		sched:   sched,
+	}
+}
+
+// sweepStream builds one cell's request stream: Poisson arrivals,
+// Zipf-popular objects.
+func sweepStream(ratePerHour float64, n int, seed int64, tapeCount, objects int) ([]Request, error) {
+	arrivals, err := workload.PoissonArrivals(ratePerHour/3600, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	pick := workload.NewZipf(tapeCount*objects, seed+1, 0.8, 1)
+	stream := make([]Request, n)
+	for i := range stream {
+		flat := pick.Batch(1)[0]
+		stream[i] = Request{ObjectID: sweepObjectID(flat/objects, flat%objects), Arrival: arrivals[i]}
+	}
+	return stream, nil
+}
+
+func sweepObjectID(tape, obj int) string {
+	return "t" + strconv.Itoa(tape) + "/o" + strconv.Itoa(obj)
+}
+
+func reportErr(errs chan<- error, err error) {
+	select {
+	case errs <- err:
+	default:
+	}
+}
+
+// WriteLibrary prints the sweep: one block per arrival rate, one row
+// per (drives, batch limit), with delivered throughput, latency,
+// exchange and robot-contention counters, and drive utilization.
+func WriteLibrary(w io.Writer, cells []Cell) error {
+	var rates []float64
+	seen := make(map[float64]bool)
+	for _, c := range cells {
+		if !seen[c.RatePerHour] {
+			seen[c.RatePerHour] = true
+			rates = append(rates, c.RatePerHour)
+		}
+	}
+	for _, rate := range rates {
+		if _, err := fmt.Fprintf(w, "# arrival rate %g/h\n%6s %9s %8s %12s %12s %7s %8s %11s %9s %7s %6s\n",
+			rate, "drives", "batch", "IO/h", "mean lat (s)", "max lat (s)", "mounts", "batches", "robot-wait", "rejected", "failed", "util%"); err != nil {
+			return err
+		}
+		for _, c := range cells {
+			if c.RatePerHour != rate {
+				continue
+			}
+			m := c.Metrics
+			label := strconv.Itoa(c.BatchLimit)
+			if c.BatchLimit == 0 {
+				label = "unlim"
+			}
+			util := 0.0
+			if m.Makespan > 0 && c.Drives > 0 {
+				util = m.DriveBusySec / (float64(c.Drives) * m.Makespan) * 100
+			}
+			if _, err := fmt.Fprintf(w, "%6d %9s %8.1f %12.0f %12.0f %7d %8d %11.0f %9d %7d %6.2f\n",
+				c.Drives, label, m.IOsPerHour(), m.MeanLatency, m.MaxLatency,
+				m.Mounts, m.Batches, m.RobotWaitSec, m.Rejected, m.Failed, util); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,51 +1,116 @@
 package tertiary
 
 import (
-	"fmt"
+	"bytes"
 	"testing"
+
+	"serpentine/internal/geometry"
+	"serpentine/internal/obs"
 )
 
-func TestSweepTradeoff(t *testing.T) {
-	cfg := smallCfg(1)
-	cat := smallCatalog(t, cfg, 40)
-	var reqs []Request
-	// A heavily loaded stream: everything arrives at once.
-	for j := 0; j < 40; j++ {
-		reqs = append(reqs, Request{ObjectID: fmt.Sprintf("t101/o%d", (j*23)%40)})
+// tinySweep keeps sweep tests fast: the Tiny geometry, a small store,
+// a short stream.
+func tinySweep() SweepConfig {
+	return SweepConfig{
+		Profile:        geometry.Tiny(),
+		TapeCount:      2,
+		Objects:        8,
+		ObjectSegments: 1,
+		RatesPerHour:   []float64{3600},
+		DriveCounts:    []int{1},
+		BatchLimits:    []int{1, 8, 0},
+		Requests:       40,
+		Seed:           7,
 	}
-	points, err := Sweep(cfg, cat, reqs, []int{1, 8, 0})
+}
+
+func TestSweepTradeoff(t *testing.T) {
+	cells, err := Sweep(tinySweep())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 3 {
-		t.Fatalf("got %d points", len(points))
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells", len(cells))
 	}
-	for _, p := range points {
-		if p.Metrics.Served != 40 {
-			t.Fatalf("limit %d served %d of 40", p.BatchLimit, p.Metrics.Served)
+	for _, c := range cells {
+		if c.Metrics.Served != 40 {
+			t.Fatalf("limit %d served %d of 40", c.BatchLimit, c.Metrics.Served)
 		}
 	}
 	// Under saturation, throughput must grow with the batch limit:
 	// that is the scheduling gain the system exists for.
-	if !(points[0].Metrics.IOsPerHour() < points[1].Metrics.IOsPerHour() &&
-		points[1].Metrics.IOsPerHour() <= points[2].Metrics.IOsPerHour()+1) {
+	if !(cells[0].Metrics.IOsPerHour() < cells[1].Metrics.IOsPerHour() &&
+		cells[1].Metrics.IOsPerHour() <= cells[2].Metrics.IOsPerHour()+1) {
 		t.Fatalf("throughput not improving with batch limit: %.1f, %.1f, %.1f",
-			points[0].Metrics.IOsPerHour(), points[1].Metrics.IOsPerHour(), points[2].Metrics.IOsPerHour())
+			cells[0].Metrics.IOsPerHour(), cells[1].Metrics.IOsPerHour(), cells[2].Metrics.IOsPerHour())
 	}
-	// And so must media wear improve (fewer passes).
-	if points[0].Metrics.HeadPasses <= points[2].Metrics.HeadPasses {
-		t.Fatalf("wear not improving with batching: %.1f vs %.1f",
-			points[0].Metrics.HeadPasses, points[2].Metrics.HeadPasses)
+	// And mount traffic must fall: batching exists to amortize the
+	// robot exchange.
+	if cells[0].Metrics.Mounts < cells[2].Metrics.Mounts {
+		t.Fatalf("mounts not improving with batching: %d vs %d",
+			cells[0].Metrics.Mounts, cells[2].Metrics.Mounts)
+	}
+}
+
+// TestSweepMoreDrivesHelp pins the drive-pool dimension: under a
+// saturating stream over two cartridges, two transports finish sooner
+// than one.
+func TestSweepMoreDrivesHelp(t *testing.T) {
+	cfg := tinySweep()
+	cfg.DriveCounts = []int{1, 2}
+	cfg.BatchLimits = []int{0}
+	cells, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	if cells[1].Metrics.Makespan >= cells[0].Metrics.Makespan {
+		t.Fatalf("2 drives (%.0f s) not faster than 1 (%.0f s)",
+			cells[1].Metrics.Makespan, cells[0].Metrics.Makespan)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers is the byte-determinism
+// contract cmd/library and the CI determinism job rely on: the
+// rendered table and the merged metrics dump are identical at any
+// worker count.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) (string, string) {
+		cfg := tinySweep()
+		cfg.DriveCounts = []int{1, 2}
+		cfg.Workers = workers
+		reg := obs.NewRegistry()
+		cfg.Reg = reg
+		cells, err := Sweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var table, prom bytes.Buffer
+		if err := WriteLibrary(&table, cells); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WriteProm(&prom); err != nil {
+			t.Fatal(err)
+		}
+		return table.String(), prom.String()
+	}
+	t1, p1 := render(1)
+	t3, p3 := render(3)
+	if t1 != t3 {
+		t.Fatalf("table differs between 1 and 3 workers:\n--- 1 worker\n%s\n--- 3 workers\n%s", t1, t3)
+	}
+	if p1 != p3 {
+		t.Fatal("merged metrics dump differs between 1 and 3 workers")
 	}
 }
 
 func TestSweepValidates(t *testing.T) {
-	cfg := smallCfg(1)
-	cat := smallCatalog(t, cfg, 4)
-	if _, err := Sweep(cfg, cat, nil, nil); err == nil {
-		t.Fatal("empty limits accepted")
-	}
-	if _, err := Sweep(cfg, NewCatalog(), nil, []int{1}); err == nil {
-		t.Fatal("empty catalog accepted")
+	cfg := tinySweep()
+	// 8 objects of 200 segments cannot fit a Tiny tape.
+	cfg.ObjectSegments = 200
+	if _, err := Sweep(cfg); err == nil {
+		t.Fatal("overflowing store accepted")
 	}
 }

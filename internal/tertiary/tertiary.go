@@ -2,26 +2,32 @@
 // title promises: an online tertiary storage component that serves
 // random object reads from a library of serpentine tapes. It supplies
 // the context the scheduling algorithms run in — a volume catalog
-// mapping objects to (cartridge, segment extent), a request queue, a
-// batcher that groups pending requests by cartridge, a robot that
-// mounts cartridges into a pool of emulated drives, and the paper's
-// recommended scheduling policy (OPT for tiny batches, LOSS for
-// medium, whole-tape READ for dense ones) applied to each mounted
-// batch.
+// mapping objects to (cartridge, segment extent), a bounded admission
+// queue, a batcher that groups pending requests by cartridge, a robot
+// arm that exchanges cartridges into a pool of emulated drives one at
+// a time, and the paper's recommended scheduling policy (OPT for tiny
+// batches, LOSS for medium, whole-tape READ for dense ones) applied
+// to each mounted batch through the recovering executor, so fault
+// retries, replans and scheduler degradation compose with mounting.
 //
-// The simulation is event-driven over virtual time: nothing sleeps,
-// and a multi-hour workload evaluates in milliseconds.
+// The simulation is event-driven over virtual time: per-drive state
+// machines advance over a shared event heap, nothing sleeps, and a
+// multi-hour workload evaluates in milliseconds.
 package tertiary
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"serpentine/internal/core"
-	"serpentine/internal/drive"
+	"serpentine/internal/fault"
 	"serpentine/internal/geometry"
 	"serpentine/internal/locate"
+	"serpentine/internal/obs"
+	"serpentine/internal/server"
+	"serpentine/internal/sim"
 )
 
 // Object is one catalog entry: a named extent on one cartridge.
@@ -97,18 +103,46 @@ func (c Completion) Latency() float64 { return c.Done - c.Arrival }
 type Metrics struct {
 	// Served is the number of completed requests.
 	Served int
+	// Failed is the number of requests abandoned permanently by the
+	// executor (media errors, retry exhaustion past the replan
+	// budget); 0 on a fault-free run.
+	Failed int
+	// Rejected is the number of requests shed at admission because
+	// the library's pending backlog was at QueueCap.
+	Rejected int
 	// Makespan is the virtual time the last drive went idle.
 	Makespan float64
 	// MeanLatency and MaxLatency summarize response times.
 	MeanLatency float64
 	MaxLatency  float64
-	// Mounts is the number of cartridge mounts performed.
-	Mounts int
+	// Mounts counts cartridge exchanges into a drive; Unmounts the
+	// exchanges out. A cartridge that stays mounted across
+	// consecutive batches counts one mount, however many batches it
+	// serves.
+	Mounts   int
+	Unmounts int
 	// Batches is the number of schedules executed.
 	Batches int
+	// RobotMoves counts robot arm trips (one per mount and one per
+	// unmount); RobotBusySec is the arm's total exchange time and
+	// RobotWaitSec the time drives spent queued for the busy arm.
+	RobotMoves   int
+	RobotBusySec float64
+	RobotWaitSec float64
+	// Retries, Replans, Recalibrations and Fallbacks total the
+	// executor's recovery work across every batch; RecoverySec is the
+	// virtual time it consumed.
+	Retries        int
+	Replans        int
+	Recalibrations int
+	Fallbacks      int
+	RecoverySec    float64
+	// MaxQueueDepth is the pending backlog's high-water mark.
+	MaxQueueDepth int
 	// BytesRead is the total data transferred.
 	BytesRead int64
-	// DriveBusySec is the summed busy time across drives.
+	// DriveBusySec is the summed busy time across drives (service
+	// plus exchange overhead).
 	DriveBusySec float64
 	// HeadPasses estimates total media wear in full-length passes.
 	HeadPasses float64
@@ -134,7 +168,8 @@ type Config struct {
 	// MountSec and UnmountSec are the robot exchange times around a
 	// cartridge swap (load+thread, and rewind is charged separately
 	// by the drive); defaults 30 s and 15 s, typical for mid-90s
-	// libraries.
+	// libraries. The robot arm performs one exchange at a time:
+	// concurrent swaps queue for it.
 	MountSec   float64
 	UnmountSec float64
 	// BatchLimit caps how many pending requests are served per
@@ -143,6 +178,53 @@ type Config struct {
 	// Scheduler orders each batch; nil selects the paper's Auto
 	// policy.
 	Scheduler core.Scheduler
+	// Policy selects when batches are cut: QuiesceThenReplan (the
+	// default) dispatches an idle drive as soon as work is queued,
+	// ReplanOnArrival serves one request per dispatch so every
+	// service decision sees the freshest queue, and FixedWindow only
+	// dispatches at multiples of WindowSec.
+	Policy server.BatchPolicy
+	// WindowSec is the FixedWindow period; 0 selects 600.
+	WindowSec float64
+	// QueueCap bounds the library's pending backlog (admitted but
+	// not yet dispatched); arrivals beyond it are rejected. 0 means
+	// unbounded.
+	QueueCap int
+	// Retry bounds the executor's fault recovery per batch.
+	Retry sim.RetryPolicy
+	// Faults arms every mounted drive with an injector when any rate
+	// is non-zero; each mount derives its own injector seed from
+	// Faults.Seed, the cartridge serial, the drive and the mount
+	// ordinal.
+	Faults fault.Config
+	// Reg receives the run's metrics; nil creates a fresh registry.
+	Reg *obs.Registry
+	// Labels are added to every metric series the run emits; the
+	// sweep passes the cell coordinates here.
+	Labels []obs.Label
+	// TraceCap, when positive, attaches a bounded trace of the most
+	// recent drive operations to the registry.
+	TraceCap int
+}
+
+// withDefaults resolves the zero-value fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.Profile.Tracks == 0 {
+		cfg.Profile = geometry.DLT4000()
+	}
+	if cfg.Drives <= 0 {
+		cfg.Drives = 1
+	}
+	if cfg.MountSec == 0 {
+		cfg.MountSec = 30
+	}
+	if cfg.UnmountSec == 0 {
+		cfg.UnmountSec = 15
+	}
+	if cfg.WindowSec == 0 {
+		cfg.WindowSec = 600
+	}
+	return cfg
 }
 
 // Library is an online tertiary store: a robot, a drive pool, tapes,
@@ -159,23 +241,23 @@ type Library struct {
 // cartridge and characterizing it: each tape's locate model is built
 // from its own key points, as the paper's Figure 9 shows it must be.
 func New(cfg Config, catalog *Catalog) (*Library, error) {
-	if cfg.Profile.Tracks == 0 {
-		cfg.Profile = geometry.DLT4000()
-	}
-	if cfg.Drives <= 0 {
-		cfg.Drives = 1
-	}
-	if cfg.MountSec == 0 {
-		cfg.MountSec = 30
-	}
-	if cfg.UnmountSec == 0 {
-		cfg.UnmountSec = 15
-	}
+	cfg = cfg.withDefaults()
 	if len(cfg.Tapes) == 0 {
 		return nil, errors.New("tertiary: library needs at least one tape")
 	}
 	if catalog == nil || catalog.Len() == 0 {
 		return nil, errors.New("tertiary: library needs a non-empty catalog")
+	}
+	if cfg.MountSec < 0 || cfg.UnmountSec < 0 ||
+		math.IsNaN(cfg.MountSec) || math.IsNaN(cfg.UnmountSec) ||
+		math.IsInf(cfg.MountSec, 0) || math.IsInf(cfg.UnmountSec, 0) {
+		return nil, fmt.Errorf("tertiary: exchange times %g/%g s", cfg.MountSec, cfg.UnmountSec)
+	}
+	if cfg.WindowSec < 0 || math.IsNaN(cfg.WindowSec) || math.IsInf(cfg.WindowSec, 0) {
+		return nil, fmt.Errorf("tertiary: window of %g seconds", cfg.WindowSec)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("tertiary: faults: %w", err)
 	}
 	sched := cfg.Scheduler
 	if sched == nil {
@@ -189,6 +271,9 @@ func New(cfg Config, catalog *Catalog) (*Library, error) {
 		sched:   sched,
 	}
 	for _, serial := range cfg.Tapes {
+		if _, dup := l.tapes[serial]; dup {
+			return nil, fmt.Errorf("tertiary: duplicate tape serial %d", serial)
+		}
 		tape, err := geometry.Generate(cfg.Profile, serial)
 		if err != nil {
 			return nil, err
@@ -224,229 +309,8 @@ func (l *Library) Tapes() []int64 {
 	return out
 }
 
-// driveState tracks one transport through the simulation.
-type driveState struct {
-	id      int
-	clock   float64 // virtual time the drive becomes free
-	mounted int64   // cartridge serial, 0 if empty
-	dev     *drive.Drive
-	passes  float64
-	busy    float64
-}
-
 // pending is one unserved request resolved against the catalog.
 type pending struct {
 	req Request
 	obj Object
-}
-
-// Run serves every request and returns the completions (in completion
-// order) and run metrics. Requests may arrive at any time; the
-// simulation processes them in batches grouped by cartridge,
-// preferring the cartridge with the oldest waiting request among
-// those with the most work, which bounds starvation while keeping
-// batches dense.
-func (l *Library) Run(requests []Request) ([]Completion, Metrics, error) {
-	queue := make([]pending, 0, len(requests))
-	for _, r := range requests {
-		o, ok := l.catalog.Get(r.ObjectID)
-		if !ok {
-			return nil, Metrics{}, fmt.Errorf("tertiary: request for unknown object %q", r.ObjectID)
-		}
-		queue = append(queue, pending{req: r, obj: o})
-	}
-	sort.SliceStable(queue, func(i, j int) bool { return queue[i].req.Arrival < queue[j].req.Arrival })
-
-	drives := make([]*driveState, l.cfg.Drives)
-	for i := range drives {
-		drives[i] = &driveState{id: i}
-	}
-
-	var (
-		done    []Completion
-		metrics Metrics
-	)
-	for len(queue) > 0 {
-		// The next drive to become free takes the next batch.
-		d := drives[0]
-		for _, cand := range drives[1:] {
-			if cand.clock < d.clock {
-				d = cand
-			}
-		}
-		// Requests visible to this mount decision: those that have
-		// arrived by the time the drive is free; if none, the drive
-		// waits for the next arrival.
-		now := d.clock
-		if queue[0].req.Arrival > now {
-			now = queue[0].req.Arrival
-		}
-		visible := 0
-		for visible < len(queue) && queue[visible].req.Arrival <= now {
-			visible++
-		}
-
-		serial := l.pickTape(queue[:visible])
-		batch, rest := splitBatch(queue, visible, serial, l.cfg.BatchLimit)
-		queue = rest
-
-		completions, busy, passes, err := l.serveBatch(d, serial, now, batch)
-		if err != nil {
-			return nil, Metrics{}, err
-		}
-		done = append(done, completions...)
-		d.clock = now + busy
-		d.busy += busy
-		d.passes += passes
-		metrics.Mounts++
-		metrics.Batches++
-	}
-
-	for _, d := range drives {
-		if d.clock > metrics.Makespan {
-			metrics.Makespan = d.clock
-		}
-		metrics.DriveBusySec += d.busy
-		metrics.HeadPasses += d.passes
-	}
-	var latSum float64
-	for _, c := range done {
-		metrics.Served++
-		lat := c.Latency()
-		latSum += lat
-		if lat > metrics.MaxLatency {
-			metrics.MaxLatency = lat
-		}
-		metrics.BytesRead += int64(c.Object.segments()) * l.cfg.Profile.SegmentBytes
-	}
-	if metrics.Served > 0 {
-		metrics.MeanLatency = latSum / float64(metrics.Served)
-	}
-	sort.SliceStable(done, func(i, j int) bool { return done[i].Done < done[j].Done })
-	return done, metrics, nil
-}
-
-// pickTape chooses the cartridge to mount next: the one with the most
-// visible pending requests, ties broken by the oldest waiting request
-// so no cartridge starves.
-func (l *Library) pickTape(visible []pending) int64 {
-	count := make(map[int64]int)
-	oldest := make(map[int64]float64)
-	for _, p := range visible {
-		count[p.obj.Tape]++
-		if t, ok := oldest[p.obj.Tape]; !ok || p.req.Arrival < t {
-			oldest[p.obj.Tape] = p.req.Arrival
-		}
-	}
-	best := int64(0)
-	for serial := range count {
-		if best == 0 {
-			best = serial
-			continue
-		}
-		switch {
-		case count[serial] > count[best]:
-			best = serial
-		case count[serial] == count[best] && oldest[serial] < oldest[best]:
-			best = serial
-		case count[serial] == count[best] && oldest[serial] == oldest[best] && serial < best:
-			best = serial
-		}
-	}
-	return best
-}
-
-// splitBatch removes up to limit visible requests for the chosen
-// cartridge from the queue head region.
-func splitBatch(queue []pending, visible int, serial int64, limit int) (batch, rest []pending) {
-	for i, p := range queue {
-		if i < visible && p.obj.Tape == serial && (limit <= 0 || len(batch) < limit) {
-			batch = append(batch, p)
-		} else {
-			rest = append(rest, p)
-		}
-	}
-	return batch, rest
-}
-
-// serveBatch mounts the cartridge (if needed), schedules the batch
-// with the policy, executes it on the emulated drive, rewinds and
-// keeps the cartridge mounted for a possible next batch. It returns
-// the completions and the busy time consumed.
-func (l *Library) serveBatch(d *driveState, serial int64, start float64, batch []pending) ([]Completion, float64, float64, error) {
-	busy := 0.0
-	if d.mounted != serial {
-		if d.mounted != 0 {
-			// Rewind (the drive charges it) and unload.
-			busy += d.dev.Rewind() + l.cfg.UnmountSec
-		}
-		busy += l.cfg.MountSec
-		d.dev = drive.New(l.tapes[serial])
-		d.mounted = serial
-	}
-	d.dev.ResetClock()
-
-	// One scheduling problem per distinct extent length: the paper's
-	// model schedules fixed-size requests; mixed sizes are served
-	// size class by size class, largest batch first.
-	byLen := make(map[int][]pending)
-	for _, p := range batch {
-		byLen[p.obj.segments()] = append(byLen[p.obj.segments()], p)
-	}
-	var lens []int
-	for k := range byLen {
-		lens = append(lens, k)
-	}
-	sort.Slice(lens, func(i, j int) bool { return len(byLen[lens[i]]) > len(byLen[lens[j]]) })
-
-	model := l.models[serial]
-	var completions []Completion
-	for _, rl := range lens {
-		group := byLen[rl]
-		reqs := make([]int, len(group))
-		byStart := make(map[int][]pending)
-		for i, p := range group {
-			reqs[i] = p.obj.Start
-			byStart[p.obj.Start] = append(byStart[p.obj.Start], p)
-		}
-		prob := &core.Problem{Start: d.dev.Position(), Requests: reqs, ReadLen: rl, Cost: model}
-		plan, err := l.sched.Schedule(prob)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		if plan.WholeTape {
-			elapsed, err := d.dev.ReadEntireTape()
-			if err != nil {
-				return nil, 0, 0, err
-			}
-			// Every request in this size class completes by the end
-			// of the pass.
-			for _, p := range group {
-				completions = append(completions, Completion{
-					Request: p.req, Object: p.obj, Done: start + busy + elapsed, DriveID: d.id,
-				})
-			}
-			busy += elapsed
-			continue
-		}
-		for _, lbn := range plan.Order {
-			lt, err := d.dev.Locate(lbn)
-			if err != nil {
-				return nil, 0, 0, err
-			}
-			rt, err := d.dev.Read(rl)
-			if err != nil {
-				return nil, 0, 0, err
-			}
-			busy += lt + rt
-			ps := byStart[lbn]
-			p := ps[0]
-			byStart[lbn] = ps[1:]
-			completions = append(completions, Completion{
-				Request: p.req, Object: p.obj, Done: start + busy, DriveID: d.id,
-			})
-		}
-	}
-	passes := d.dev.Stats().HeadPasses(l.cfg.Profile)
-	return completions, busy, passes, nil
 }
