@@ -51,13 +51,14 @@ bench-json: bench
 	rm -f $(BENCH_TXT)
 
 # Short fuzzing passes over the executor's replan path, the server's
-# admission queue, and the library batcher — the state machines
-# arbitrary inputs can reach. CI runs this on every PR; locally, raise
-# FUZZTIME to dig.
+# admission queue, the library batcher, and the bounded span store —
+# the state machines arbitrary inputs can reach. CI runs this on every
+# PR; locally, raise FUZZTIME to dig.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzExecutorReplan$$' -fuzztime $(FUZZTIME) ./internal/sim/
 	$(GO) test -run '^$$' -fuzz '^FuzzAdmissionQueue$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzLibraryBatcher$$' -fuzztime $(FUZZTIME) ./internal/tertiary/
+	$(GO) test -run '^$$' -fuzz '^FuzzSpanStore$$' -fuzztime $(FUZZTIME) ./internal/obs/
 
 # Static analysis beyond vet, with pinned tool versions. Needs network
 # on first run to fetch the tools (CI caches them).
@@ -72,6 +73,7 @@ results:
 	$(GO) run ./cmd/chaos > results/chaos.txt
 	$(GO) run ./cmd/serve > results/online.txt
 	$(GO) run ./cmd/library > results/library.txt
+	$(GO) run ./cmd/trace
 
 clean:
 	rm -f $(BENCH_TXT)

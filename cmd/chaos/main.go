@@ -9,6 +9,7 @@
 //	chaos
 //	chaos -batch 192 -batches 20 -rates 0,1,2,4,8
 //	chaos -algs LOSS,SLTF,SCAN -seed 7 -workers 4
+//	chaos -metrics prom
 //
 // Runs are fully deterministic: the same flags produce the same
 // output at any worker count.
@@ -25,6 +26,7 @@ import (
 
 	"serpentine/internal/core"
 	"serpentine/internal/fault"
+	"serpentine/internal/obs"
 	"serpentine/internal/sim"
 )
 
@@ -45,6 +47,7 @@ func main() {
 		overshoot = flag.Float64("overshoot", 0.01, "base locate-overshoot rate (per locate)")
 		lost      = flag.Float64("lost", 0.002, "base lost-servo-position rate (per locate)")
 		media     = flag.Float64("media", 0.0005, "base fraction of media-bad segments")
+		metrics   = flag.String("metrics", "", "append the per-cell recovery metrics dump: 'prom' or 'json'")
 	)
 	flag.Parse()
 
@@ -78,6 +81,16 @@ func main() {
 		}
 	}
 
+	var reg *obs.Registry
+	switch *metrics {
+	case "":
+	case "prom", "json":
+		reg = obs.NewRegistry()
+		cfg.Reg = reg
+	default:
+		log.Fatalf("unknown -metrics format %q (want prom or json)", *metrics)
+	}
+
 	cells, err := sim.ChaosSweep(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -88,6 +101,18 @@ func main() {
 		*batch, *batches-*warmup, *transient, *overshoot, *lost, *media, *seed)
 	if err := sim.WriteChaos(w, cells); err != nil {
 		log.Fatal(err)
+	}
+	if reg != nil {
+		fmt.Fprintln(w, "# metrics")
+		switch *metrics {
+		case "prom":
+			err = reg.WriteProm(w)
+		case "json":
+			err = reg.WriteJSON(w)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@
 //	library                          # default grid > results/library.txt
 //	library -rates 120,480 -drives 4 # heavier load, bigger pool
 //	library -metrics                 # append the Prometheus metrics dump
+//	library -listen :8080            # /metrics /statusz /tracez /debug/pprof
 package main
 
 import (
@@ -38,6 +39,8 @@ func main() {
 		seed     = flag.Int64("seed", 11, "base seed; each cell derives its own")
 		workers  = flag.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS); any value gives identical output")
 		metrics  = flag.Bool("metrics", false, "append the merged Prometheus metrics dump")
+		listen   = flag.String("listen", "", "serve live introspection (/metrics /statusz /tracez /debug/pprof) on this address and block after the run")
+		spanCap  = flag.Int("spancap", 8192, "per-cell span store capacity for -listen tracing")
 	)
 	flag.Parse()
 
@@ -65,6 +68,13 @@ func main() {
 		reg = obs.NewRegistry()
 		cfg.Reg = reg
 	}
+	if *listen != "" {
+		if reg == nil {
+			reg = obs.NewRegistry()
+			cfg.Reg = reg
+		}
+		cfg.SpanCap = *spanCap
+	}
 
 	cells, err := tertiary.Sweep(cfg)
 	if err != nil {
@@ -79,11 +89,29 @@ func main() {
 	if err := tertiary.WriteLibrary(w, cells); err != nil {
 		log.Fatal(err)
 	}
-	if reg != nil {
+	if reg != nil && *metrics {
 		fmt.Fprintln(w, "# metrics")
 		if err := reg.WriteProm(w); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *listen != "" {
+		w.Flush()
+		// Replay every cell's spans into one live tracer in spec order
+		// — the same order at any worker count — so /tracez shows the
+		// deterministic timeline, then keep serving until interrupted.
+		tracer := obs.NewTracer(*spanCap * len(cells))
+		for _, c := range cells {
+			for _, s := range c.Spans {
+				tracer.Record(s)
+			}
+		}
+		addr, err := obs.Serve(*listen, reg, tracer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("introspection on http://%s (/metrics /statusz /tracez /debug/pprof); ^C to exit", addr)
+		select {}
 	}
 }
 

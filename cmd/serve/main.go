@@ -9,6 +9,7 @@
 //	serve -rates 30,60,120,240 -n 500
 //	serve -policies quiesce,fixed-window -window 300 -algs LOSS,SLTF
 //	serve -metrics prom
+//	serve -listen :8080              # /metrics /statusz /tracez /debug/pprof
 //
 // Runs are fully deterministic: the same flags produce the same
 // output at any worker count.
@@ -45,6 +46,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "arrival-stream seed")
 		workers   = flag.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
 		metrics   = flag.String("metrics", "", "append the merged metrics dump: 'prom' or 'json'")
+		listen    = flag.String("listen", "", "serve live introspection (/metrics /statusz /tracez /debug/pprof) on this address and block after the run")
+		spanCap   = flag.Int("spancap", 65536, "span store capacity for -listen tracing")
 		transient = flag.Float64("transient", 0, "transient read-error rate (per read; 0 disables faults)")
 		overshoot = flag.Float64("overshoot", 0, "locate-overshoot rate (per locate)")
 		lost      = flag.Float64("lost", 0, "lost-servo-position rate (per locate)")
@@ -100,6 +103,25 @@ func main() {
 	default:
 		log.Fatalf("unknown -metrics format %q (want prom or json)", *metrics)
 	}
+	var tracer *obs.Tracer
+	if *listen != "" {
+		// Live introspection wants both halves of the subsystem armed:
+		// the merged registry even without -metrics, and a shared span
+		// tracer the cells record into as they run. The shared tracer's
+		// interleaving follows worker scheduling — it is for watching,
+		// not for committed evidence (cmd/trace does that, per cell).
+		if reg == nil {
+			reg = obs.NewRegistry()
+			cfg.Reg = reg
+		}
+		tracer = obs.NewTracer(*spanCap)
+		cfg.Spans = tracer
+		addr, err := obs.Serve(*listen, reg, tracer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("introspection on http://%s (/metrics /statusz /tracez /debug/pprof)", addr)
+	}
 
 	cells, err := server.Sweep(cfg)
 	if err != nil {
@@ -112,7 +134,7 @@ func main() {
 	if err := server.WriteOnline(w, cells); err != nil {
 		log.Fatal(err)
 	}
-	if reg != nil {
+	if reg != nil && *metrics != "" {
 		fmt.Fprintln(w, "# metrics")
 		switch *metrics {
 		case "prom":
@@ -123,6 +145,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *listen != "" {
+		w.Flush()
+		log.Printf("run complete; still serving introspection (^C to exit)")
+		select {}
 	}
 }
 

@@ -9,6 +9,7 @@
 //	echo "8 15 16 23 42" | tapesched -alg OPT
 //	tapesched -compare 101000 7500 441217 312024   # all algorithms
 //	tapesched -execute -alg LOSS 101000 7500 441217
+//	tapesched -execute -metrics prom 101000 7500   # + drive-op metrics
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"serpentine/internal/drive"
 	"serpentine/internal/geometry"
 	"serpentine/internal/locate"
+	"serpentine/internal/obs"
 )
 
 func main() {
@@ -39,8 +41,18 @@ func main() {
 		execute = flag.Bool("execute", false, "also execute the schedule on the emulated drive")
 		explain = flag.Bool("explain", false, "decompose every locate in the schedule (case, scan, read)")
 		quiet   = flag.Bool("quiet", false, "print only the schedule, one segment per line")
+		metrics = flag.String("metrics", "", "append estimate gauges and (with -execute) drive-op metrics: 'prom' or 'json'")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	switch *metrics {
+	case "":
+	case "prom", "json":
+		reg = obs.NewRegistry()
+	default:
+		log.Fatalf("unknown -metrics format %q (want prom or json)", *metrics)
+	}
 
 	reqs, err := readRequests(flag.Args())
 	if err != nil {
@@ -122,6 +134,13 @@ func main() {
 		log.Fatal(err)
 	}
 	est := plan.Estimate(problem)
+	if reg != nil {
+		ls := []obs.Label{obs.L("alg", s.Name())}
+		reg.Gauge("estimate_total_seconds", ls...).Set(est.Total())
+		reg.Gauge("estimate_locate_seconds", ls...).Set(est.Locate)
+		reg.Gauge("estimate_read_seconds", ls...).Set(est.Read)
+		reg.Counter("requests_total", ls...).Add(int64(len(reqs)))
+	}
 
 	if *quiet {
 		for _, lbn := range plan.Order {
@@ -151,6 +170,18 @@ func main() {
 
 	if *execute {
 		dev := drive.New(tape)
+		if reg != nil {
+			// Fold every drive primitive into per-op counters and
+			// latency histograms as the schedule executes.
+			dev.AttachTrace(func(ev obs.TraceEvent) {
+				ls := []obs.Label{obs.L("op", ev.Op)}
+				reg.Counter("drive_ops_total", ls...).Add(1)
+				reg.Histogram("drive_op_seconds", ls...).Observe(ev.ElapsedSec)
+				if ev.Err != "" {
+					reg.Counter("drive_op_errors_total", obs.L("op", ev.Op), obs.L("err", ev.Err)).Add(1)
+				}
+			})
+		}
 		if _, err := dev.Locate(*start); err != nil {
 			log.Fatal(err)
 		}
@@ -166,6 +197,21 @@ func main() {
 		}
 		fmt.Fprintf(w, "# measured on emulated drive: %.1f s (estimate off by %+.2f%%)\n",
 			measured, (est.Total()-measured)/measured*100)
+		if reg != nil {
+			reg.Gauge("measured_seconds", obs.L("alg", s.Name())).Set(measured)
+		}
+	}
+	if reg != nil {
+		fmt.Fprintln(w, "# metrics")
+		switch *metrics {
+		case "prom":
+			err = reg.WriteProm(w)
+		case "json":
+			err = reg.WriteJSON(w)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TraceSet names one group of spans for export — typically one
+// simulation run or one sweep cell. Exports render each set as a
+// separate Chrome "process", so parallel cells load side by side in
+// Perfetto.
+type TraceSet struct {
+	Name  string
+	Spans []Span
+}
+
+// chromeEvent is one Chrome trace-event object. Field order is fixed
+// by the struct and map keys are marshalled sorted, so the rendered
+// bytes are a pure function of the spans.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace dumps the sets in the Chrome trace-event JSON
+// format (the "JSON Object Format" with a traceEvents array), which
+// chrome://tracing and Perfetto load directly. Every span renders as
+// one complete ("X") event: ts and dur are virtual microseconds, pid
+// is the set index, tid the span's lane. Trace, span and parent IDs
+// travel in args so the causal chain survives the viewer round trip.
+// One event per line, deterministic bytes for identical spans.
+func WriteChromeTrace(w io.Writer, sets []TraceSet) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		if _, err := io.WriteString(w, sep); err != nil {
+			return err
+		}
+		_, err = w.Write(b)
+		return err
+	}
+	for pid, set := range sets {
+		if err := emit(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": set.Name},
+		}); err != nil {
+			return err
+		}
+		for _, s := range set.Spans {
+			args := make(map[string]string, len(s.Attrs)+3)
+			args["trace"] = strconv.FormatUint(s.Trace, 10)
+			args["span"] = strconv.FormatUint(s.ID, 10)
+			if s.Parent != 0 {
+				args["parent"] = strconv.FormatUint(s.Parent, 10)
+			}
+			for _, a := range s.Attrs {
+				// Attribute keys must not mask the identity keys; a
+				// colliding key gets an attr. prefix instead.
+				k := a.Key
+				if k == "trace" || k == "span" || k == "parent" {
+					k = "attr." + k
+				}
+				args[k] = a.Value
+			}
+			dur := s.DurationSec() * 1e6
+			if err := emit(chromeEvent{
+				Name: s.Name, Ph: "X", Pid: pid, Tid: s.Lane,
+				Ts: s.StartSec * 1e6, Dur: &dur, Args: args,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// WriteTimeline dumps the spans as a compact indented text timeline,
+// sorted by start time (parents tie-break ahead of their children by
+// span ID). Times are fixed-point virtual seconds, so the output is
+// byte-deterministic.
+func WriteTimeline(w io.Writer, spans []Span) error {
+	ordered := make([]Span, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.StartSec != b.StartSec {
+			return a.StartSec < b.StartSec
+		}
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		return a.ID < b.ID
+	})
+
+	// Depth via the parent chain; a span whose parent was evicted from
+	// the bounded store renders as a root.
+	type key struct{ trace, id uint64 }
+	depths := make(map[key]int, len(ordered))
+	depthOf := func(s Span) int {
+		if s.Parent == 0 {
+			return 0
+		}
+		if d, ok := depths[key{s.Trace, s.Parent}]; ok {
+			return d + 1
+		}
+		return 0
+	}
+	for _, s := range ordered {
+		d := depthOf(s)
+		depths[key{s.Trace, s.ID}] = d
+		indent := strings.Repeat("  ", d)
+		var attrs strings.Builder
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&attrs, " %s=%s", a.Key, a.Value)
+		}
+		if _, err := fmt.Fprintf(w, "%14.6f %14.6f  %s%s%s  [trace %d span %d]\n",
+			s.StartSec, s.EndSec, indent, s.Name, attrs.String(), s.Trace, s.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}

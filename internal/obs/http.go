@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Live introspection: the same deterministic dumps the experiment
+// commands commit as evidence, served over HTTP so a running (or just
+// finished) process can be inspected with curl or a Prometheus
+// scrape. The handlers only read registry and tracer state under
+// their own locks — attaching them changes nothing about a run.
+
+// NewMux returns a mux exposing the registry and tracer:
+//
+//	/metrics      Prometheus text exposition (WriteProm)
+//	/statusz      JSON snapshot: span store stats + every metric
+//	/tracez       recent spans as the text timeline (WriteTimeline)
+//	/debug/pprof  the standard pprof handlers
+//
+// reg and tr may each be nil; the endpoints then render empty.
+func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WriteProm(w)
+		}
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\n\"spans\": {\"kept\": %d, \"total\": %d, \"dropped\": %d},\n\"metrics\": ",
+			len(tr.Spans()), tr.Total(), tr.Dropped())
+		if reg != nil {
+			_ = reg.WriteJSON(w)
+		} else {
+			fmt.Fprintln(w, "{}")
+		}
+		fmt.Fprintln(w, "}")
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "# spans: %d kept, %d recorded, %d dropped\n", len(tr.Spans()), tr.Total(), tr.Dropped())
+		_ = WriteTimeline(w, tr.Spans())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (host:port; ":0" picks a free port), serves NewMux
+// on it in a background goroutine for the life of the process, and
+// returns the bound address. The experiment commands call this behind
+// their -listen flag.
+func Serve(addr string, reg *Registry, tr *Tracer) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		srv := &http.Server{Handler: NewMux(reg, tr)}
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,7 +1,10 @@
 // Package obs is the observability subsystem of the online serving
 // layer: counters, gauges and latency histograms keyed by metric name
-// plus labels, a bounded trace of drive operations, and deterministic
-// text dumps in Prometheus exposition format and expvar-style JSON.
+// plus labels, a bounded trace of drive operations, a hierarchical
+// virtual-time span tracer (span.go) with Chrome-trace and text
+// timeline exports (export.go), live introspection endpoints
+// (http.go), and deterministic text dumps in Prometheus exposition
+// format and expvar-style JSON.
 //
 // Everything here is driven by the simulator's *virtual* clock — the
 // package never reads wall time, so a metrics dump is a pure function
@@ -15,7 +18,6 @@
 package obs
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -31,6 +33,8 @@ func L(key, value string) Label { return Label{Key: key, Value: value} }
 
 // metricKey renders name plus sorted labels into the canonical series
 // identity, e.g. `served_total{alg="LOSS",policy="fixed-window"}`.
+// Label values are escaped per the Prometheus text exposition format,
+// so the identity doubles as the spec-valid rendering WriteProm emits.
 func metricKey(name string, labels []Label) string {
 	if len(labels) == 0 {
 		return name
@@ -45,9 +49,39 @@ func metricKey(name string, labels []Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the Prometheus text exposition
+// format: exactly backslash, double quote and newline are escaped
+// (`\\`, `\"`, `\n`); every other byte — tabs, other control bytes,
+// multi-byte UTF-8 — passes through raw, as the spec requires. The
+// escaping is injective, so distinct values never collide into one
+// series identity.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
 	return b.String()
 }
 

@@ -175,6 +175,114 @@ func TestTraceRing(t *testing.T) {
 	}
 }
 
+func TestWritePromEscapesLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events_total", L("path", `C:\tapes\"vault"`+"\nline2")).Inc()
+	r.Histogram("lat_seconds", L("note", "a\\b")).Observe(1)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The exposition format escapes exactly backslash, quote and
+	// newline inside label values; the raw forms must not survive.
+	want := `events_total{path="C:\\tapes\\\"vault\"\nline2"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("WriteProm missing escaped series %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, `lat_seconds_bucket{note="a\\b",le="1"} 1`) {
+		t.Fatalf("histogram label block not escaped:\n%s", out)
+	}
+	// A raw newline in a label value would split the series across two
+	// physical lines; every line must stay a comment or a full sample.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.ContainsRune(line, ' ') {
+			t.Fatalf("raw newline leaked into exposition output: %q", line)
+		}
+	}
+	// Escaping is injective: these two values must stay distinct series.
+	r2 := NewRegistry()
+	r2.Counter("x", L("v", `a\nb`)).Inc()
+	r2.Counter("x", L("v", "a\nb")).Inc()
+	var sb2 strings.Builder
+	if err := r2.WriteProm(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb2.String(), "x{"); got != 2 {
+		t.Fatalf("escaping collided two distinct label values into %d series:\n%s", got, sb2.String())
+	}
+}
+
+func TestMergeConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 50
+	dst := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				src := NewRegistry()
+				src.Counter("served_total").Add(1)
+				src.Gauge("clock_seconds").Set(1)
+				src.Histogram("sojourn_seconds").Observe(float64(w*perWorker + i))
+				dst.Merge(src)
+			}
+		}(w)
+	}
+	wg.Wait()
+	const total = workers * perWorker
+	if got := dst.Counter("served_total").Value(); got != total {
+		t.Fatalf("concurrent merge counter = %d, want %d", got, total)
+	}
+	if got := dst.Gauge("clock_seconds").Value(); got != total {
+		t.Fatalf("concurrent merge gauge = %g, want %d", got, total)
+	}
+	if got := dst.Histogram("sojourn_seconds").Count(); got != total {
+		t.Fatalf("concurrent merge histogram count = %d, want %d", got, total)
+	}
+}
+
+func TestHistogramExactToBucketedBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fills the 1<<20 exact-sample retention")
+	}
+	h := newHistogram()
+	// Uniform values over [0, 16): the true median sits at ~8, inside
+	// the (4, 8] / (8, 16] bucket pair, giving the bucketed estimate a
+	// tight target.
+	for i := 0; i < maxExactSamples; i++ {
+		h.Observe(float64(i) / float64(maxExactSamples) * 16)
+	}
+	if h.SaturatedQuantiles() {
+		t.Fatal("histogram saturated at exactly maxExactSamples")
+	}
+	exactP50 := h.Quantile(50)
+	if math.Abs(exactP50-8) > 1e-3 {
+		t.Fatalf("exact p50 = %g, want ~8", exactP50)
+	}
+
+	// One more observation crosses the boundary: retention stops,
+	// quantiles switch to bucket interpolation.
+	h.Observe(12)
+	if !h.SaturatedQuantiles() {
+		t.Fatal("histogram not saturated one past maxExactSamples")
+	}
+	if h.Count() != maxExactSamples+1 {
+		t.Fatalf("count = %d, want %d", h.Count(), maxExactSamples+1)
+	}
+	p50, p95, p99 := h.Quantile(50), h.Quantile(95), h.Quantile(99)
+	if p50 < 4 || p50 > 16 {
+		t.Fatalf("bucketed p50 = %g, outside the plausible [4,16] range", p50)
+	}
+	if p50 > p95 || p95 > p99 {
+		t.Fatalf("bucketed quantiles not monotone: p50=%g p95=%g p99=%g", p50, p95, p99)
+	}
+	if max := h.Quantile(100); p99 > max || max > 16 {
+		t.Fatalf("p99=%g max=%g, want p99 <= max <= 16", p99, max)
+	}
+}
+
 func TestRegistryConcurrentUse(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

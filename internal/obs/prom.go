@@ -102,9 +102,10 @@ func writePromHist(w io.Writer, key string, buckets []int64, count int, sum floa
 }
 
 // withLabel splices one more label into an already-rendered label
-// block ("" means no existing labels).
+// block ("" means no existing labels), escaping the value per the
+// Prometheus text format like metricKey does.
 func withLabel(block, key, value string) string {
-	extra := fmt.Sprintf("%s=%q", key, value)
+	extra := key + `="` + promEscape(value) + `"`
 	if block == "" {
 		return "{" + extra + "}"
 	}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSpanIDsAreDeterministicCounters(t *testing.T) {
+	build := func() []Span {
+		tr := NewTracer(64)
+		h := tr.StartTrace()
+		root := h.Start("run", nil, 0)
+		a := h.Start("batch", root, 1.5, L("tape", "7"))
+		b := h.Start("serve", a, 2)
+		b.End(3)
+		a.End(4)
+		root.End(5)
+		h2 := tr.StartTrace()
+		r2 := h2.Start("run", nil, 0)
+		r2.End(1)
+		return tr.Spans()
+	}
+	first, second := build(), build()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("two identical recordings diverged:\n%v\n%v", first, second)
+	}
+	// Storage is End order; IDs are per-trace counters starting at 1.
+	if len(first) != 4 {
+		t.Fatalf("got %d spans, want 4", len(first))
+	}
+	if first[0].Name != "serve" || first[0].Trace != 1 || first[0].ID != 3 || first[0].Parent != 2 {
+		t.Fatalf("first stored span = %+v", first[0])
+	}
+	if first[3].Name != "run" || first[3].Trace != 2 || first[3].ID != 1 || first[3].Parent != 0 {
+		t.Fatalf("last stored span = %+v", first[3])
+	}
+}
+
+func TestSpanLaneInheritance(t *testing.T) {
+	tr := NewTracer(8)
+	h := tr.StartTrace()
+	batch := h.Start("batch", nil, 0).Lane(3)
+	child := h.Start("serve", batch, 1)
+	child.End(2)
+	batch.End(3)
+	spans := tr.Spans()
+	if spans[0].Lane != 3 || spans[1].Lane != 3 {
+		t.Fatalf("lanes = %d, %d, want 3, 3", spans[0].Lane, spans[1].Lane)
+	}
+}
+
+func TestTracerBoundsAndEviction(t *testing.T) {
+	tr := NewTracer(3)
+	h := tr.StartTrace()
+	for i := 0; i < 5; i++ {
+		h.Start("op", nil, float64(i)).End(float64(i) + 1)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 || tr.Total() != 5 || tr.Dropped() != 2 {
+		t.Fatalf("kept %d, total %d, dropped %d; want 3/5/2", len(spans), tr.Total(), tr.Dropped())
+	}
+	// Most recent retained, oldest first.
+	for i, s := range spans {
+		if s.ID != uint64(i+3) {
+			t.Fatalf("span %d has ID %d, want %d", i, s.ID, i+3)
+		}
+	}
+}
+
+func TestNilTracerAndHandlesNoOp(t *testing.T) {
+	var tr *Tracer
+	h := tr.StartTrace()
+	if h != nil {
+		t.Fatal("nil tracer returned a non-nil handle")
+	}
+	sp := h.Start("x", nil, 0, L("k", "v"))
+	if sp != nil {
+		t.Fatal("nil handle returned a non-nil span")
+	}
+	// Every method must be callable on the nils.
+	sp.Attr("a", "b").AttrFloat("f", 1.5).AttrInt("i", 2).Lane(1)
+	sp.End(1)
+	if sp.SpanID() != 0 || h.ID() != 0 || tr.Total() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Fatal("nil no-ops leaked state")
+	}
+	tr.Record(Span{})
+}
+
+func TestSpanEndIsIdempotent(t *testing.T) {
+	tr := NewTracer(8)
+	h := tr.StartTrace()
+	sp := h.Start("op", nil, 0)
+	sp.End(1)
+	sp.End(2)
+	sp.Attr("late", "ignored")
+	if got := tr.Spans(); len(got) != 1 || got[0].EndSec != 1 || len(got[0].Attrs) != 0 {
+		t.Fatalf("double End corrupted the span: %+v", got)
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	tr := NewTracer(8)
+	h := tr.StartTrace()
+	root := h.Start("run", nil, 0)
+	h.Start("locate", root, 0.5, L("segment", "42")).Lane(1).End(2.5)
+	root.End(3)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []TraceSet{{Name: "cell 0", Spans: tr.Spans()}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"displayTimeUnit":"ms"`,
+		`"name":"process_name"`,
+		`"name":"locate"`,
+		`"ph":"X"`,
+		`"dur":2000000`,
+		`"segment":"42"`,
+		`"parent":"1"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome trace missing %q:\n%s", want, out)
+		}
+	}
+	// Byte determinism.
+	var again bytes.Buffer
+	if err := WriteChromeTrace(&again, []TraceSet{{Name: "cell 0", Spans: tr.Spans()}}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("chrome trace export is not byte-deterministic")
+	}
+}
+
+func TestWriteTimelineIndentsChildren(t *testing.T) {
+	tr := NewTracer(8)
+	h := tr.StartTrace()
+	root := h.Start("run", nil, 0)
+	batch := h.Start("batch", root, 1, L("tape", "9"))
+	h.Start("serve", batch, 1).End(2)
+	batch.End(2)
+	root.End(3)
+
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	// The format is "...end  <indent>name": two-space separator, then
+	// two more spaces per depth level.
+	if !strings.Contains(lines[0], "  run") || strings.Contains(lines[0], "   run") {
+		t.Fatalf("root line malformed: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "    batch tape=9") {
+		t.Fatalf("child line not indented once: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "      serve") {
+		t.Fatalf("grandchild line not indented twice: %q", lines[2])
+	}
+}

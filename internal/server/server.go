@@ -59,6 +59,12 @@ type Config struct {
 	// TraceCap, when positive, attaches a bounded trace of the most
 	// recent drive operations to the registry.
 	TraceCap int
+	// Spans, when non-nil, records the run's lifecycle as hierarchical
+	// virtual-time spans: the run, each batch, each request from
+	// arrival to completion with its queue wait, the executor's
+	// serve/retry/replan phases, and every drive primitive as a leaf.
+	// Tracing is pure accounting and changes no simulated timing.
+	Spans *obs.Tracer
 }
 
 // Result summarizes one run.
@@ -148,6 +154,12 @@ type state struct {
 	arrivals []Request
 	next     int     // next un-admitted arrival
 	idle     float64 // accumulated idle time on top of the drive clock
+
+	// Span tracing state: the run's trace, its root span, and the span
+	// of the batch currently executing (drive leaf spans nest there).
+	trace    *obs.TraceHandle
+	root     *obs.SpanHandle
+	curBatch *obs.SpanHandle
 
 	res Result
 }
@@ -267,9 +279,16 @@ func Run(cfg Config, arrivals []Request) (*Result, error) {
 	s.res.Alg = sched.Name()
 	s.res.Policy = cfg.Policy
 	s.res.Reg = reg
+	if cfg.Spans != nil {
+		s.trace = cfg.Spans.StartTrace()
+		s.root = s.trace.Start("run", nil, 0).
+			Attr("alg", sched.Name()).Attr("policy", cfg.Policy.String())
+	}
 
 	// Observability: every drive operation feeds per-op counters and
-	// latency histograms, plus the bounded trace when asked for.
+	// latency histograms, plus the bounded trace when asked for and a
+	// leaf span under the executing batch. The drive's clock excludes
+	// accounted idle, so s.idle maps it onto the run's virtual time.
 	tr := reg.Trace()
 	if cfg.TraceCap > 0 {
 		tr = reg.AttachTrace(cfg.TraceCap)
@@ -282,6 +301,16 @@ func Run(cfg Config, arrivals []Request) (*Result, error) {
 		}
 		if tr != nil {
 			tr.Add(ev)
+		}
+		if s.trace != nil {
+			sp := s.trace.Start(ev.Op, s.curBatch, ev.ClockSec+s.idle)
+			if ev.Segment >= 0 {
+				sp.AttrInt("segment", ev.Segment)
+			}
+			if ev.Err != "" {
+				sp.Attr("err", ev.Err)
+			}
+			sp.End(ev.ClockSec + ev.ElapsedSec + s.idle)
 		}
 	})
 
@@ -328,6 +357,8 @@ func (s *state) run() error {
 	s.res.IdleSec = s.idle
 	s.res.FinalHead = s.drv.Position()
 	s.res.MaxQueueDepth = s.queue.MaxDepth()
+	s.root.AttrInt("served", s.res.Served).AttrInt("failed", s.res.Failed).
+		AttrInt("rejected", s.res.Rejected).End(s.res.MakespanSec)
 	s.gauge("queue_depth_max").Max(float64(s.queue.MaxDepth()))
 	s.gauge("clock_seconds").Set(s.res.MakespanSec)
 	s.gauge("busy_seconds").Set(s.res.BusySec)
@@ -350,12 +381,19 @@ func (s *state) serveBatch(batch []Request) error {
 		return fmt.Errorf("server: scheduling batch of %d: %w", len(batch), err)
 	}
 	dispatch := s.now()
+	s.curBatch = s.trace.Start("batch", s.root, dispatch).
+		AttrInt("size", len(batch)).Attr("mode", "batch")
+	s.exec.Trace = s.trace
+	s.exec.Parent = s.curBatch
+	s.exec.TraceBase = s.idle
 	er, err := s.exec.Execute(prob, plan)
 	if err != nil {
 		return fmt.Errorf("server: executing batch of %d: %w", len(batch), err)
 	}
 	s.recordExec(batch, &er, dispatch)
 	s.recordCut(len(batch), er.ElapsedSec)
+	s.curBatch.End(s.now())
+	s.curBatch = nil
 	return nil
 }
 
@@ -370,6 +408,7 @@ func (s *state) serveIncremental(batch []Request) error {
 		return err
 	}
 	cutStart := s.now()
+	s.curBatch = s.trace.Start("batch", s.root, cutStart).Attr("mode", "incremental")
 	size := len(batch)
 	for len(pending) > 0 {
 		seg := order[0]
@@ -383,6 +422,9 @@ func (s *state) serveIncremental(batch []Request) error {
 
 		prob := &core.Problem{Start: s.drv.Position(), Requests: []int{seg}, ReadLen: s.readLen, Cost: s.model}
 		dispatch := s.now()
+		s.exec.Trace = s.trace
+		s.exec.Parent = s.curBatch
+		s.exec.TraceBase = s.idle
 		er, err := s.exec.Execute(prob, core.Plan{Order: []int{seg}})
 		if err != nil {
 			return fmt.Errorf("server: executing request %d: %w", req.ID, err)
@@ -413,6 +455,8 @@ func (s *state) serveIncremental(batch []Request) error {
 		}
 	}
 	s.recordCut(size, s.now()-cutStart)
+	s.curBatch.AttrInt("size", size).End(s.now())
+	s.curBatch = nil
 	return nil
 }
 
@@ -480,6 +524,13 @@ func (s *state) recordExec(batch []Request, er *sim.ExecResult, dispatch float64
 		completion := dispatch + er.Completions[i]
 		sojourn := completion - req.ArrivalSec
 		service := er.Completions[i]
+		if s.trace != nil {
+			rs := s.trace.Start("request", s.root, req.ArrivalSec).
+				AttrInt("id", req.ID).AttrInt("segment", seg).
+				AttrFloat("queue_sec", dispatch-req.ArrivalSec)
+			s.trace.Start("queue", rs, req.ArrivalSec).End(dispatch)
+			rs.End(completion)
+		}
 		s.res.Served++
 		s.res.Sojourn.Add(sojourn)
 		s.res.SojournTimes = append(s.res.SojournTimes, sojourn)

@@ -2,10 +2,13 @@ package server
 
 import (
 	"math"
+	"reflect"
+	"strconv"
 	"testing"
 
 	"serpentine/internal/core"
 	"serpentine/internal/drive"
+	"serpentine/internal/fault"
 	"serpentine/internal/geometry"
 	"serpentine/internal/locate"
 	"serpentine/internal/obs"
@@ -335,5 +338,66 @@ func TestSojournAccounting(t *testing.T) {
 	got := res.SojournTimes[0] - res.ServiceTimes[0]
 	if math.Abs(got-wait) > 1e-9 {
 		t.Fatalf("sojourn-service = %g, want %g (the admission wait)", got, wait)
+	}
+}
+
+// Attaching span tracing must not change one bit of a run: batching
+// decisions, completions and recovery accounting are all clock-driven,
+// and spans only read the clock.
+func TestSpanTracingDoesNotPerturbTiming(t *testing.T) {
+	gen := workload.NewUniform(segmentSpace, 42)
+	arrivals, err := PoissonStream(120.0/3600, 60, 7, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range AllPolicies() {
+		cfg := Config{
+			Policy:    policy,
+			Scheduler: core.NewSLTF(),
+			Faults:    fault.Config{TransientRate: 0.05, OvershootRate: 0.02, LostRate: 0.005, Seed: 9},
+		}
+		bare := run(t, cfg, arrivals)
+		cfg.Spans = obs.NewTracer(1 << 16)
+		traced := run(t, cfg, arrivals)
+
+		bare.Reg, traced.Reg = nil, nil // registries hold pointers, compared via the dumps elsewhere
+		if !reflect.DeepEqual(bare, traced) {
+			t.Fatalf("%s: span tracing perturbed the run:\nbare:   %+v\ntraced: %+v", policy, bare, traced)
+		}
+
+		// The trace must describe the run: a root span covering the
+		// makespan, request spans whose queue child matches the
+		// queue_sec attribute.
+		spans := cfg.Spans.Spans()
+		requests, queues := 0, 0
+		byID := make(map[uint64]obs.Span)
+		for _, s := range spans {
+			byID[s.ID] = s
+		}
+		for _, s := range spans {
+			switch s.Name {
+			case "run":
+				if s.StartSec != 0 || math.Abs(s.EndSec-traced.MakespanSec) > 1e-9 {
+					t.Fatalf("%s: run span [%g,%g], want [0,%g]", policy, s.StartSec, s.EndSec, traced.MakespanSec)
+				}
+			case "request":
+				requests++
+			case "queue":
+				queues++
+				parent := byID[s.Parent]
+				want := ""
+				for _, a := range parent.Attrs {
+					if a.Key == "queue_sec" {
+						want = a.Value
+					}
+				}
+				if got := strconv.FormatFloat(s.DurationSec(), 'g', -1, 64); want != "" && got != want {
+					t.Fatalf("%s: queue span duration %s, parent queue_sec attr %s", policy, got, want)
+				}
+			}
+		}
+		if requests != traced.Served || queues != requests {
+			t.Fatalf("%s: %d request spans, %d queue spans, served %d", policy, requests, queues, traced.Served)
+		}
 	}
 }

@@ -59,6 +59,12 @@ type SweepConfig struct {
 	// spec order after the parallel phase so the dump is identical
 	// at any worker count.
 	Reg *obs.Registry
+	// Spans, when non-nil, receives every cell's lifecycle spans. The
+	// tracer is shared live across workers (it exists for the -listen
+	// introspection endpoints), so span arrival order — unlike the
+	// merged metrics — depends on scheduling; use tertiary.Sweep's
+	// per-cell span capture when byte-determinism matters.
+	Spans *obs.Tracer
 }
 
 // SweepCell is one (rate, policy, scheduler) outcome.
@@ -156,6 +162,7 @@ func Sweep(cfg SweepConfig) ([]SweepCell, error) {
 					Retry:     cfg.Retry,
 					Faults:    faults,
 					Reg:       reg,
+					Spans:     cfg.Spans,
 					Labels: []obs.Label{
 						obs.L("rate", fmt.Sprintf("%g", rate)),
 						obs.L("policy", policy.String()),

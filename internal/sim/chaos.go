@@ -11,6 +11,7 @@ import (
 	"serpentine/internal/fault"
 	"serpentine/internal/geometry"
 	"serpentine/internal/locate"
+	"serpentine/internal/obs"
 )
 
 // ChaosConfig describes a chaos experiment: the chained steady-state
@@ -46,6 +47,10 @@ type ChaosConfig struct {
 	Seed int64
 	// Workers bounds concurrent cells; 0 selects GOMAXPROCS.
 	Workers int
+	// Reg, when non-nil, receives per-cell outcome and recovery
+	// metrics labeled by (alg, rate), recorded in spec order after the
+	// parallel phase so the dump is identical at any worker count.
+	Reg *obs.Registry
 }
 
 // ChaosCell is one (scheduler, fault rate) outcome.
@@ -166,6 +171,25 @@ func ChaosSweep(cfg ChaosConfig) ([]ChaosCell, error) {
 	case err := <-errs:
 		return nil, err
 	default:
+	}
+	if cfg.Reg != nil {
+		// Record in spec order so the dump is independent of which
+		// worker ran which cell.
+		for _, c := range cells {
+			ls := []obs.Label{obs.L("alg", c.Alg), obs.L("rate", fmt.Sprintf("%g", c.Rate))}
+			r := c.Result
+			cfg.Reg.Counter("served_total", ls...).Add(int64(r.Served))
+			cfg.Reg.Counter("failed_total", ls...).Add(int64(r.FailedRequests))
+			cfg.Reg.Counter("retries_total", ls...).Add(int64(r.Retries))
+			cfg.Reg.Counter("replans_total", ls...).Add(int64(r.Replans))
+			cfg.Reg.Counter("recalibrations_total", ls...).Add(int64(r.Recalibrations))
+			cfg.Reg.Counter("fallbacks_total", ls...).Add(int64(r.Fallbacks))
+			cfg.Reg.Gauge("recovery_seconds", ls...).Set(r.RecoverySec)
+			h := cfg.Reg.Histogram("completion_seconds", ls...)
+			for _, v := range r.Completions {
+				h.Observe(v)
+			}
+		}
 	}
 	return cells, nil
 }

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"serpentine/internal/core"
 	"serpentine/internal/drive"
+	"serpentine/internal/obs"
 )
 
 // RetryPolicy bounds the executor's recovery behaviour. The zero
@@ -106,6 +108,28 @@ type ExecResult struct {
 	// its completion time offset from the start of the execution; the
 	// chaos experiments take p99 over these.
 	Completions []float64
+	// Detail decomposes each Completions entry into its phases; it is
+	// index-aligned with Served.
+	Detail []ServeDetail
+}
+
+// ServeDetail decomposes one served request's completion offset into
+// phases. The four fields sum to the request's Completions entry (to
+// floating-point telescoping error, well under a nanosecond): the
+// attribution layer relies on that conservation.
+type ServeDetail struct {
+	// BeginSec is the time from the start of the execution until the
+	// request's final (successful) serve loop began: serving the
+	// requests ahead of it, plus any earlier abandoned serve loops,
+	// replans and recalibrations of its own.
+	BeginSec float64
+	// RetrySec is the recovery spent inside the final serve loop —
+	// failed attempts and backoff waits before the successful attempt.
+	RetrySec float64
+	// LocateSec is the successful locate.
+	LocateSec float64
+	// ReadSec is the successful transfer.
+	ReadSec float64
 }
 
 // Executor runs retrieval plans against an emulated drive, recovering
@@ -131,6 +155,19 @@ type Executor struct {
 	// Policy bounds the recovery behaviour.
 	Policy RetryPolicy
 
+	// Trace, when non-nil, records this execution's serve, backoff,
+	// recalibrate and replan phases as spans. Tracing is pure
+	// accounting: it never touches the drive, so timing is
+	// bit-identical with and without it.
+	Trace *obs.TraceHandle
+	// Parent is the span the execution's spans nest under (may be
+	// nil for top-level spans).
+	Parent *obs.SpanHandle
+	// TraceBase maps the drive's clock, which starts at zero on every
+	// mount, onto the trace's absolute virtual time: a span at drive
+	// time t is recorded at TraceBase + t.
+	TraceBase float64
+
 	level int // current degradation tier for this execution
 }
 
@@ -142,6 +179,17 @@ const (
 	vFailed
 	vReplan
 )
+
+func (v verdict) String() string {
+	switch v {
+	case vServed:
+		return "served"
+	case vFailed:
+		return "failed"
+	default:
+		return "replan"
+	}
+}
 
 // Execute runs the plan's order against the drive. The problem
 // supplies the cost model and read length replanning needs; plan must
@@ -176,13 +224,17 @@ func (ex *Executor) Execute(p *core.Problem, plan core.Plan) (ExecResult, error)
 	// order is ascending, so the locates degenerate to short forward
 	// skips) because recovery needs per-request granularity.
 	if plan.WholeTape && !ex.Drive.FaultsEnabled() {
+		sp := ex.Trace.Start("read-tape", ex.Parent, ex.TraceBase+start).
+			AttrInt("requests", len(plan.Order))
 		el, err := ex.Drive.ReadEntireTape()
+		sp.End(ex.TraceBase + ex.Drive.Clock())
 		if err != nil {
 			return res, err
 		}
 		res.Served = append(res.Served, plan.Order...)
 		for range plan.Order {
 			res.Completions = append(res.Completions, el)
+			res.Detail = append(res.Detail, ServeDetail{ReadSec: el})
 		}
 		res.ElapsedSec = ex.Drive.Clock() - start
 		return res, nil
@@ -197,7 +249,7 @@ func (ex *Executor) Execute(p *core.Problem, plan core.Plan) (ExecResult, error)
 
 	for len(remaining) > 0 {
 		seg := remaining[0]
-		v, err := ex.serve(seg, readLen, &res)
+		v, clk, err := ex.serve(seg, readLen, &res)
 		if err != nil {
 			res.ElapsedSec = ex.Drive.Clock() - start
 			return res, err
@@ -206,15 +258,25 @@ func (ex *Executor) Execute(p *core.Problem, plan core.Plan) (ExecResult, error)
 		case vServed:
 			res.Served = append(res.Served, seg)
 			res.Completions = append(res.Completions, ex.Drive.Clock()-start)
+			res.Detail = append(res.Detail, ServeDetail{
+				BeginSec:  clk.begin - start,
+				RetrySec:  clk.retryEnd - clk.begin,
+				LocateSec: clk.locateEnd - clk.retryEnd,
+				ReadSec:   clk.end - clk.locateEnd,
+			})
 			remaining = remaining[1:]
 		case vFailed:
 			res.Failed = append(res.Failed, seg)
 			remaining = remaining[1:]
 		case vReplan:
+			reason := "retry-exhausted"
 			if ex.Drive.Lost() {
+				reason = "lost-position"
+				rsp := ex.Trace.Start("recalibrate", ex.Parent, ex.TraceBase+ex.Drive.Clock())
 				t := ex.Drive.Recalibrate()
 				res.Recalibrations++
 				res.RecoverySec += t
+				rsp.End(ex.TraceBase + ex.Drive.Clock())
 			}
 			if strikes == nil {
 				strikes = make(map[int]int)
@@ -226,11 +288,22 @@ func (ex *Executor) Execute(p *core.Problem, plan core.Plan) (ExecResult, error)
 				continue
 			}
 			res.Replans++
-			remaining = ex.replan(p, remaining, &res)
+			rp := ex.Trace.Start("replan", ex.Parent, ex.TraceBase+ex.Drive.Clock()).
+				Attr("reason", reason).AttrInt("remaining", len(remaining))
+			remaining = ex.replan(p, remaining, &res, rp)
+			rp.End(ex.TraceBase + ex.Drive.Clock())
 		}
 	}
 	res.ElapsedSec = ex.Drive.Clock() - start
 	return res, nil
+}
+
+// serveClocks marks the absolute drive-clock milestones of one serve
+// loop: when it began, when in-place recovery ended (the successful
+// attempt's start), when the successful locate finished, and when the
+// transfer finished. Only a vServed loop fills the last three.
+type serveClocks struct {
+	begin, retryEnd, locateEnd, end float64
 }
 
 // serve retrieves one request, retrying in place per the policy. It
@@ -238,20 +311,23 @@ func (ex *Executor) Execute(p *core.Problem, plan core.Plan) (ExecResult, error)
 // failure (media error, read past end of tape), vReplan when in-place
 // retry is exhausted or position was lost, and a non-nil error only
 // for invalid executions.
-func (ex *Executor) serve(seg, readLen int, res *ExecResult) (verdict, error) {
+func (ex *Executor) serve(seg, readLen int, res *ExecResult) (v verdict, clk serveClocks, err error) {
 	d := ex.Drive
 	pol := ex.Policy.withDefaults()
 	begin := d.Clock()
+	clk.begin = begin
+	sp := ex.Trace.Start("serve", ex.Parent, ex.TraceBase+begin).AttrInt("segment", seg)
+	defer func() { sp.Attr("verdict", v.String()).End(ex.TraceBase + d.Clock()) }()
 	fails := 0
 	for {
 		if d.Lost() {
-			return vReplan, nil
+			return vReplan, clk, nil
 		}
 		if fails > pol.MaxRetries {
-			return vReplan, nil
+			return vReplan, clk, nil
 		}
 		if d.Clock()-begin > pol.RequestTimeoutSec {
-			return vReplan, nil
+			return vReplan, clk, nil
 		}
 		attemptStart := d.Clock()
 		if _, err := d.Locate(seg); err != nil {
@@ -266,34 +342,41 @@ func (ex *Executor) serve(seg, readLen int, res *ExecResult) (verdict, error) {
 				continue
 			case errors.Is(err, drive.ErrLostPosition):
 				res.RecoverySec += d.Clock() - attemptStart
-				return vReplan, nil
+				return vReplan, clk, nil
 			default:
-				return vFailed, err
+				return vFailed, clk, err
 			}
 		}
+		locateEnd := d.Clock()
 		_, err := d.Read(readLen)
 		if err == nil {
-			return vServed, nil
+			clk.retryEnd = attemptStart
+			clk.locateEnd = locateEnd
+			clk.end = d.Clock()
+			return vServed, clk, nil
 		}
 		res.RecoverySec += d.Clock() - attemptStart
 		switch {
 		case errors.Is(err, drive.ErrMedia):
-			return vFailed, nil
+			return vFailed, clk, nil
 		case errors.Is(err, drive.ErrTransient):
 			res.Retries++
 			wait := pol.backoff(fails)
 			fails++
+			bs := ex.Trace.Start("backoff", sp, ex.TraceBase+d.Clock()).
+				AttrFloat("wait_sec", wait)
 			d.Wait(wait)
+			bs.End(ex.TraceBase + d.Clock())
 			res.RecoverySec += wait
 			continue
 		case errors.Is(err, drive.ErrLostPosition):
-			return vReplan, nil
+			return vReplan, clk, nil
 		case errors.Is(err, drive.ErrEndOfTape):
 			// The request cannot be transferred at this read length;
 			// a plan/problem mismatch rather than a drive fault.
-			return vFailed, nil
+			return vFailed, clk, nil
 		default:
-			return vFailed, err
+			return vFailed, clk, err
 		}
 	}
 }
@@ -306,7 +389,7 @@ func (ex *Executor) serve(seg, readLen int, res *ExecResult) (verdict, error) {
 // loses or invents a request: a schedule that is not a permutation of
 // the remaining set is rejected, and if every tier fails the current
 // order is kept.
-func (ex *Executor) replan(p *core.Problem, remaining []int, res *ExecResult) []int {
+func (ex *Executor) replan(p *core.Problem, remaining []int, res *ExecResult, sp *obs.SpanHandle) []int {
 	pol := ex.Policy.withDefaults()
 	prob := &core.Problem{
 		Start:    ex.Drive.Position(),
@@ -315,21 +398,32 @@ func (ex *Executor) replan(p *core.Problem, remaining []int, res *ExecResult) []
 		Cost:     p.Cost,
 	}
 	chain := ex.chain()
+	var skipped []string
 	for ; ex.level < len(chain); ex.level++ {
 		s := chain[ex.level]
 		if planningOps(s.Name(), len(remaining)) > pol.PlanningBudgetOps {
 			res.Fallbacks++
+			skipped = append(skipped, s.Name())
 			continue
 		}
 		plan, err := s.Schedule(prob)
 		if err != nil || core.CheckPermutation(remaining, plan.Order) != nil {
 			res.Fallbacks++
+			skipped = append(skipped, s.Name())
 			continue
 		}
+		if len(skipped) > 0 {
+			sp.Attr("skipped", strings.Join(skipped, ","))
+		}
+		sp.Attr("scheduler", s.Name())
 		return plan.Order
 	}
 	// Every tier was over budget or failed: keep the current order.
 	ex.level = len(chain) - 1
+	if len(skipped) > 0 {
+		sp.Attr("skipped", strings.Join(skipped, ","))
+	}
+	sp.Attr("scheduler", "none")
 	return remaining
 }
 

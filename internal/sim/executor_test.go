@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -9,6 +11,7 @@ import (
 	"serpentine/internal/fault"
 	"serpentine/internal/geometry"
 	"serpentine/internal/locate"
+	"serpentine/internal/obs"
 )
 
 // execFixture builds a tape, a host model from its key points, and a
@@ -288,5 +291,77 @@ func TestExecutorRejectsInvalidSetup(t *testing.T) {
 	}
 	if _, err := (&Executor{Drive: d}).Execute(&core.Problem{}, core.Plan{}); err == nil {
 		t.Fatal("nil cost model accepted")
+	}
+}
+
+// Every served request's completion offset must decompose exactly into
+// its ServeDetail phases — the latency attribution layer sums them
+// back and asserts conservation against the sojourn.
+func TestExecutorDetailSumsToCompletion(t *testing.T) {
+	for _, cfg := range []fault.Config{
+		{}, // fault-free
+		fault.Default(7),
+		{TransientRate: 0.3, OvershootRate: 0.1, LostRate: 0.02, MediaRate: 0.01, Seed: 11},
+	} {
+		m, d := execFixture(t, 1, cfg)
+		reqs := []int{100000, 5000, 400000, 250123, 611111, 42, 33333, 98765}
+		p, plan := schedulePlan(t, m, core.NewLOSS(), 0, reqs)
+		res, err := (&Executor{Drive: d}).Execute(p, plan)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if len(res.Detail) != len(res.Served) || len(res.Detail) != len(res.Completions) {
+			t.Fatalf("%+v: detail misaligned: %d details, %d served, %d completions",
+				cfg, len(res.Detail), len(res.Served), len(res.Completions))
+		}
+		for i, det := range res.Detail {
+			sum := det.BeginSec + det.RetrySec + det.LocateSec + det.ReadSec
+			if diff := math.Abs(sum - res.Completions[i]); diff > 1e-9 {
+				t.Fatalf("%+v: request %d: detail sum %.12f vs completion %.12f (off by %g)",
+					cfg, res.Served[i], sum, res.Completions[i], diff)
+			}
+			if det.BeginSec < 0 || det.RetrySec < 0 || det.LocateSec < 0 || det.ReadSec < 0 {
+				t.Fatalf("%+v: request %d: negative phase: %+v", cfg, res.Served[i], det)
+			}
+		}
+	}
+}
+
+// Attaching a span trace must not change one bit of the execution:
+// same result, same drive clock, same head position.
+func TestExecutorSpansDoNotPerturbTiming(t *testing.T) {
+	run := func(tr *obs.Tracer) (ExecResult, float64, int) {
+		m, d := execFixture(t, 1, fault.Default(21))
+		reqs := []int{100000, 5000, 400000, 250123, 611111, 42, 33333, 98765}
+		p, plan := schedulePlan(t, m, core.NewLOSS(), 0, reqs)
+		ex := &Executor{Drive: d}
+		if tr != nil {
+			h := tr.StartTrace()
+			ex.Trace = h
+			ex.Parent = h.Start("exec", nil, 0)
+		}
+		res, err := ex.Execute(p, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, d.Clock(), d.Position()
+	}
+	bare, clk1, pos1 := run(nil)
+	tr := obs.NewTracer(4096)
+	traced, clk2, pos2 := run(tr)
+	if !reflect.DeepEqual(bare, traced) || clk1 != clk2 || pos1 != pos2 {
+		t.Fatalf("span tracing perturbed the execution:\nbare:   %+v clk=%v pos=%d\ntraced: %+v clk=%v pos=%d",
+			bare, clk1, pos1, traced, clk2, pos2)
+	}
+	// The trace must actually contain serve spans with verdicts.
+	spans := tr.Spans()
+	serves := 0
+	for _, s := range spans {
+		if s.Name == "serve" {
+			serves++
+		}
+	}
+	if serves == 0 {
+		t.Fatalf("no serve spans recorded among %d spans", len(spans))
 	}
 }

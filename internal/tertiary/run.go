@@ -27,6 +27,13 @@ type driveState struct {
 	busy   float64
 	passes float64
 	mounts int // exchanges into this drive, for fault-seed derivation
+
+	// base maps the mounted device's clock (restarting at zero on
+	// every exchange) onto the run's absolute virtual time: a drive
+	// op at device time t happened at base + t. curBatch is the span
+	// of the batch the drive is executing; leaf spans nest there.
+	base     float64
+	curBatch *obs.SpanHandle
 }
 
 // driveEvent is one drive-becomes-idle event on the virtual clock.
@@ -71,6 +78,8 @@ type runState struct {
 	robotFree float64 // virtual time the robot arm finishes its last exchange
 	reg       *obs.Registry
 	tr        *obs.Trace
+	trace     *obs.TraceHandle
+	root      *obs.SpanHandle
 	done      []Completion
 	m         Metrics
 }
@@ -169,6 +178,12 @@ func (l *Library) newRun(requests []Request) (*runState, error) {
 		s.tr = reg.AttachTrace(l.cfg.TraceCap)
 	} else {
 		s.tr = reg.Trace()
+	}
+	if l.cfg.Spans != nil {
+		s.trace = l.cfg.Spans.StartTrace()
+		s.root = s.trace.Start("run", nil, 0).
+			Attr("scheduler", l.sched.Name()).Attr("policy", l.cfg.Policy.String()).
+			AttrInt("drives", l.cfg.Drives)
 	}
 	return s, nil
 }
@@ -298,11 +313,14 @@ func deriveFaultSeed(base, serial int64, driveID, mount int) int64 {
 
 // exchange swaps the chosen cartridge into the drive through the
 // robot arm (one exchange at a time: a busy arm queues the swap) and
-// returns the rewind time charged to the outgoing cartridge and the
-// drive's total exchange delay including any wait for the arm.
-func (s *runState) exchange(d *driveState, serial int64, now float64) (rewind, delay float64) {
-	exDur := 0.0
+// returns the rewind time charged to the outgoing cartridge, the time
+// spent queued for the arm, and the exchange handling time itself.
+func (s *runState) exchange(d *driveState, serial int64, now float64) (rewind, wait, exDur float64) {
 	if d.loaded {
+		// The outgoing device's clock keeps running through the
+		// rewind; re-anchor its span base so the rewind leaf span
+		// lands at the current virtual time.
+		d.base = now - d.dev.Clock()
 		rewind = d.dev.Rewind()
 		d.passes += d.dev.Stats().HeadPasses(s.cfg.Profile)
 		exDur += s.cfg.UnmountSec
@@ -315,15 +333,18 @@ func (s *runState) exchange(d *driveState, serial int64, now float64) (rewind, d
 	s.m.RobotMoves++
 	s.counter("mounts_total", obs.L("tape", strconv.FormatInt(serial, 10))).Inc()
 
-	wait := 0.0
+	wait = 0.0
 	exStart := now + rewind
 	if s.robotFree > exStart {
 		wait = s.robotFree - exStart
 		s.m.RobotWaitSec += wait
 		s.histogram("robot_wait_seconds").Observe(wait)
+		s.trace.Start("robot-wait", d.curBatch, exStart).End(exStart + wait)
 	}
 	s.robotFree = exStart + wait + exDur
 	s.m.RobotBusySec += exDur
+	s.trace.Start("exchange", d.curBatch, exStart+wait).
+		Attr("tape", strconv.FormatInt(serial, 10)).End(exStart + wait + exDur)
 
 	dev := drive.New(s.l.tapes[serial])
 	if s.cfg.Faults.Enabled() {
@@ -331,19 +352,20 @@ func (s *runState) exchange(d *driveState, serial int64, now float64) (rewind, d
 		f.Seed = deriveFaultSeed(s.cfg.Faults.Seed, serial, d.id, d.mounts)
 		dev.AttachFaults(fault.New(f))
 	}
-	s.attachTrace(dev, d.id)
+	s.attachTrace(dev, d)
 	d.dev = dev
 	d.serial = serial
 	d.loaded = true
 	d.mounts++
-	return rewind, wait + exDur
+	return rewind, wait, exDur
 }
 
 // attachTrace feeds every drive operation into the per-op counters
-// and histograms, and the bounded trace ring when one is attached.
-// Tracing never perturbs drive timing.
-func (s *runState) attachTrace(dev *drive.Drive, driveID int) {
-	dl := obs.L("drive", strconv.Itoa(driveID))
+// and histograms, the bounded trace ring when one is attached, and a
+// leaf span under the drive's executing batch. Tracing never perturbs
+// drive timing.
+func (s *runState) attachTrace(dev *drive.Drive, d *driveState) {
+	dl := obs.L("drive", strconv.Itoa(d.id))
 	dev.AttachTrace(func(ev obs.TraceEvent) {
 		s.counter("drive_ops_total", obs.L("op", ev.Op), dl).Inc()
 		s.histogram("drive_op_seconds", obs.L("op", ev.Op)).Observe(ev.ElapsedSec)
@@ -352,6 +374,16 @@ func (s *runState) attachTrace(dev *drive.Drive, driveID int) {
 		}
 		if s.tr != nil {
 			s.tr.Add(ev)
+		}
+		if s.trace != nil {
+			sp := s.trace.Start(ev.Op, d.curBatch, d.base+ev.ClockSec)
+			if ev.Segment >= 0 {
+				sp.AttrInt("segment", ev.Segment)
+			}
+			if ev.Err != "" {
+				sp.Attr("err", ev.Err)
+			}
+			sp.End(d.base + ev.ClockSec + ev.ElapsedSec)
 		}
 	})
 }
@@ -371,13 +403,18 @@ func (s *runState) serve(d *driveState, serial int64, now float64) error {
 		return fmt.Errorf("tertiary: internal: dispatched empty batch for tape %d", serial)
 	}
 	d.idle = false
+	d.curBatch = s.trace.Start("batch", s.root, now).Lane(1+d.id).
+		Attr("tape", strconv.FormatInt(serial, 10)).AttrInt("size", len(batch))
 
-	var rewind, delay float64
+	var rewind, wait, exDur float64
 	if !d.loaded || d.serial != serial {
-		rewind, delay = s.exchange(d, serial, now)
+		rewind, wait, exDur = s.exchange(d, serial, now)
 	}
-	serveStart := now + rewind + delay
+	serveStart := now + rewind + wait + exDur
 	c0 := d.dev.Clock()
+	// Anchor the mounted device's clock to absolute time for this
+	// batch's leaf and executor spans.
+	d.base = serveStart - c0
 
 	// Group the batch into size classes, biggest class first (count
 	// desc, then extent length asc — a deterministic order despite
@@ -398,14 +435,14 @@ func (s *runState) serve(d *driveState, serial int64, now float64) error {
 	})
 
 	for _, rl := range lens {
-		if err := s.serveClass(d, serial, serveStart, c0, rl, byLen[rl]); err != nil {
+		if err := s.serveClass(d, serial, now, serveStart, c0, wait, rewind+exDur, rl, byLen[rl]); err != nil {
 			return err
 		}
 	}
 
 	elapsed := d.dev.Clock() - c0
 	end := serveStart + elapsed
-	d.busy += rewind + delay + elapsed
+	d.busy += rewind + wait + exDur + elapsed
 	heap.Push(&s.events, driveEvent{at: end, drive: d.id})
 	if end > s.m.Makespan {
 		s.m.Makespan = end
@@ -413,7 +450,9 @@ func (s *runState) serve(d *driveState, serial int64, now float64) error {
 	s.m.Batches++
 	s.counter("batches_total").Inc()
 	s.histogram("batch_size").Observe(float64(len(batch)))
-	s.histogram("batch_seconds").Observe(rewind + delay + elapsed)
+	s.histogram("batch_seconds").Observe(rewind + wait + exDur + elapsed)
+	d.curBatch.End(end)
+	d.curBatch = nil
 	return nil
 }
 
@@ -421,7 +460,10 @@ func (s *runState) serve(d *driveState, serial int64, now float64) error {
 // Duplicate extents are deduplicated before scheduling — one physical
 // read satisfies every pending request for the segment — and every
 // pending sharing a served segment completes at that read's time.
-func (s *runState) serveClass(d *driveState, serial int64, serveStart, c0 float64, rl int, group []pending) error {
+// now is the batch's dispatch time; robotSec and mountSec are the
+// exchange costs every request in the batch sat through, attributed
+// to each.
+func (s *runState) serveClass(d *driveState, serial int64, now, serveStart, c0, robotSec, mountSec float64, rl int, group []pending) error {
 	uniq := make([]int, 0, len(group))
 	byStart := make(map[int][]pending, len(group))
 	for _, p := range group {
@@ -437,7 +479,10 @@ func (s *runState) serveClass(d *driveState, serial int64, serveStart, c0 float6
 		return fmt.Errorf("tertiary: scheduling %d requests on tape %d: %w", len(uniq), serial, err)
 	}
 
-	ex := &sim.Executor{Drive: d.dev, Scheduler: s.l.sched, Policy: s.cfg.Retry}
+	ex := &sim.Executor{
+		Drive: d.dev, Scheduler: s.l.sched, Policy: s.cfg.Retry,
+		Trace: s.trace, Parent: d.curBatch, TraceBase: d.base,
+	}
 	base := d.dev.Clock()
 	er, err := ex.Execute(prob, plan)
 	if err != nil {
@@ -450,12 +495,34 @@ func (s *runState) serveClass(d *driveState, serial int64, serveStart, c0 float6
 		if len(ps) == 0 {
 			return fmt.Errorf("tertiary: schedule visits segment %d on tape %d more often than requested", seg, serial)
 		}
+		det := er.Detail[i]
 		for _, p := range ps {
+			done := serveStart + offset + er.Completions[i]
+			attr := Attribution{
+				QueueSec:    (now - p.req.Arrival) + offset + det.BeginSec,
+				RobotSec:    robotSec,
+				MountSec:    mountSec,
+				LocateSec:   det.LocateSec,
+				TransferSec: det.ReadSec,
+				RetrySec:    det.RetrySec,
+			}
 			s.done = append(s.done, Completion{
 				Request: p.req, Object: p.obj,
-				Done:    serveStart + offset + er.Completions[i],
-				DriveID: d.id,
+				Done:        done,
+				DriveID:     d.id,
+				Attribution: attr,
 			})
+			if s.trace != nil {
+				s.trace.Start("request", s.root, p.req.Arrival).
+					Attr("object", p.obj.ID).AttrInt("drive", d.id).
+					AttrFloat("queue_sec", attr.QueueSec).
+					AttrFloat("robot_sec", attr.RobotSec).
+					AttrFloat("mount_sec", attr.MountSec).
+					AttrFloat("locate_sec", attr.LocateSec).
+					AttrFloat("transfer_sec", attr.TransferSec).
+					AttrFloat("retry_sec", attr.RetrySec).
+					End(done)
+			}
 			s.counter("served_total").Inc()
 			s.histogram("latency_seconds", obs.L("tape", strconv.FormatInt(serial, 10))).
 				Observe(serveStart + offset + er.Completions[i] - p.req.Arrival)
@@ -510,4 +577,6 @@ func (s *runState) finish() {
 	s.gauge("makespan_seconds").Set(s.m.Makespan)
 	s.gauge("queue_depth_max").Max(float64(s.m.MaxQueueDepth))
 	s.gauge("robot_busy_seconds").Set(s.m.RobotBusySec)
+	s.root.AttrInt("served", s.m.Served).AttrInt("failed", s.m.Failed).
+		AttrInt("rejected", s.m.Rejected).End(s.m.Makespan)
 }

@@ -67,6 +67,11 @@ type SweepConfig struct {
 	// spec order after the parallel phase so the dump is identical
 	// at any worker count.
 	Reg *obs.Registry
+	// SpanCap, when positive, gives every cell its own span tracer of
+	// that capacity and returns the recorded spans and completions on
+	// the Cell. Per-cell capture keeps the spans — like the metrics —
+	// byte-identical at any worker count.
+	SpanCap int
 }
 
 // Cell is one (rate, drives, batch limit) outcome.
@@ -75,6 +80,11 @@ type Cell struct {
 	Drives      int
 	BatchLimit  int
 	Metrics     Metrics
+	// Spans holds the cell's recorded spans when SweepConfig.SpanCap
+	// was set; Completions the cell's served requests with latency
+	// attribution, in completion order.
+	Spans       []obs.Span
+	Completions []Completion
 }
 
 // Sweep runs every cell of the library experiment. Cells run
@@ -200,6 +210,10 @@ func Sweep(cfg SweepConfig) ([]Cell, error) {
 					faults.Seed = seed + 3
 				}
 				reg := obs.NewRegistry()
+				var spans *obs.Tracer
+				if cfg.SpanCap > 0 {
+					spans = obs.NewTracer(cfg.SpanCap)
+				}
 				lib := base.clone(Config{
 					Profile:    profile,
 					Tapes:      serials,
@@ -214,18 +228,24 @@ func Sweep(cfg SweepConfig) ([]Cell, error) {
 					Retry:      cfg.Retry,
 					Faults:     faults,
 					Reg:        reg,
+					Spans:      spans,
 					Labels: []obs.Label{
 						obs.L("rate", fmt.Sprintf("%g", rate)),
 						obs.L("drives", strconv.Itoa(drives)),
 						obs.L("batch", strconv.Itoa(limit)),
 					},
 				})
-				_, m, err := lib.Run(stream)
+				comps, m, err := lib.Run(stream)
 				if err != nil {
 					reportErr(errs, fmt.Errorf("tertiary: sweep cell %g/h %dd limit %d: %w", rate, drives, limit, err))
 					return
 				}
-				cells[i] = Cell{RatePerHour: rate, Drives: drives, BatchLimit: limit, Metrics: m}
+				cell := Cell{RatePerHour: rate, Drives: drives, BatchLimit: limit, Metrics: m}
+				if spans != nil {
+					cell.Spans = spans.Spans()
+					cell.Completions = comps
+				}
+				cells[i] = cell
 				regs[i] = reg
 			}
 		}()

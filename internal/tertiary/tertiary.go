@@ -94,6 +94,9 @@ type Completion struct {
 	Done float64
 	// DriveID identifies the drive that served it.
 	DriveID int
+	// Attribution decomposes the request's sojourn into phases; the
+	// components sum back to Latency() (see AttributionError).
+	Attribution Attribution
 }
 
 // Latency is the request's response time.
@@ -205,6 +208,14 @@ type Config struct {
 	// TraceCap, when positive, attaches a bounded trace of the most
 	// recent drive operations to the registry.
 	TraceCap int
+	// Spans, when non-nil, records the run as hierarchical
+	// virtual-time spans: the run, per-drive batches on their own
+	// lanes, robot waits and exchanges, the executor's recovery
+	// phases, every drive primitive as a leaf, and one span per
+	// request from arrival to completion carrying its latency
+	// attribution. Tracing is pure accounting and changes no
+	// simulated timing bit.
+	Spans *obs.Tracer
 }
 
 // withDefaults resolves the zero-value fields.
