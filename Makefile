@@ -5,6 +5,14 @@
 GO      ?= go
 BENCH_OUT ?= BENCH_PR1.json
 BENCH_TXT ?= bench.txt
+BENCH6_OUT ?= BENCH_PR6.json
+BENCH6_BASELINE ?= BENCH_PR6_BASELINE.txt
+
+# End-to-end benchmarks for the dispatch-loop perf pass: a full
+# library sweep cell, the online server's steady-state loop, and the
+# bare event-heap cycle. 200 fixed iterations amortize sync.Pool
+# warmup so the numbers reflect steady state, not cold pools.
+E2E_BENCH := BenchmarkLibrarySweepCell$$|BenchmarkServerSteadyState|BenchmarkEventLoopDispatch
 
 # Pinned analysis-tool versions: `go run pkg@version` fetches and runs
 # without touching go.mod, so the simulator itself stays dependency-free.
@@ -13,7 +21,7 @@ GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
 FUZZTIME ?= 30s
 
-.PHONY: verify test vet fmt race bench bench-json fuzz-smoke lint results clean
+.PHONY: verify test vet fmt race bench bench-json bench-pr6 profile fuzz-smoke lint results clean
 
 # Tier-1 verify: build, vet, full test suite, and the race detector
 # over the parallel simulator plus the packages it drives concurrently
@@ -50,6 +58,25 @@ bench-json: bench
 	$(GO) run ./cmd/benchjson < $(BENCH_TXT) > $(BENCH_OUT)
 	rm -f $(BENCH_TXT)
 
+# Regenerate the committed end-to-end benchmark evidence: the PR-1
+# scheduler suite (trajectory continuity) plus the end-to-end benches,
+# with the pre-optimization capture embedded under "baseline" so
+# before/after lives in one document.
+bench-pr6:
+	$(GO) test -run '^$$' -bench 'BenchmarkScheduler' -benchmem ./internal/core | tee $(BENCH_TXT)
+	$(GO) test -run '^$$' -bench '$(E2E_BENCH)' -benchtime 200x -benchmem ./internal/tertiary ./internal/server | tee -a $(BENCH_TXT)
+	$(GO) run ./cmd/benchjson -baseline $(BENCH6_BASELINE) < $(BENCH_TXT) > $(BENCH6_OUT)
+	rm -f $(BENCH_TXT)
+
+# CPU and heap profiles of a representative library sweep cell, for
+# `go tool pprof results/pprof/cpu.out` (see EXPERIMENTS.md §"Profiling
+# the event loop"). Artifacts are gitignored.
+profile:
+	mkdir -p results/pprof
+	$(GO) test -run '^$$' -bench 'BenchmarkLibrarySweepCell$$' -benchtime 300x \
+		-cpuprofile results/pprof/cpu.out -memprofile results/pprof/heap.out \
+		-o results/pprof/tertiary.test ./internal/tertiary
+
 # Short fuzzing passes over the executor's replan path, the server's
 # admission queue, the library batcher, and the bounded span store —
 # the state machines arbitrary inputs can reach. CI runs this on every
@@ -58,6 +85,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzExecutorReplan$$' -fuzztime $(FUZZTIME) ./internal/sim/
 	$(GO) test -run '^$$' -fuzz '^FuzzAdmissionQueue$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzLibraryBatcher$$' -fuzztime $(FUZZTIME) ./internal/tertiary/
+	$(GO) test -run '^$$' -fuzz '^FuzzEventHeap$$' -fuzztime $(FUZZTIME) ./internal/tertiary/
 	$(GO) test -run '^$$' -fuzz '^FuzzSpanStore$$' -fuzztime $(FUZZTIME) ./internal/obs/
 
 # Static analysis beyond vet, with pinned tool versions. Needs network

@@ -9,12 +9,19 @@
 // most recently seen above it; every "value unit" pair after the
 // iteration count is kept as a metric, so custom b.ReportMetric units
 // survive.
+//
+// With -baseline FILE, the same parser is run over FILE (bench text
+// captured on an earlier revision) and its records are embedded under
+// "baseline", so before/after evidence lives in one committed
+// document.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -33,12 +40,43 @@ type Report struct {
 	Go         string      `json:"go,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Baseline holds the -baseline file's records: the same
+	// benchmarks measured on the revision the current numbers are
+	// compared against.
+	Baseline []Benchmark `json:"baseline,omitempty"`
 }
 
 func main() {
+	baselinePath := flag.String("baseline", "", "bench text file from the comparison revision to embed under \"baseline\"")
+	flag.Parse()
+
 	rep := Report{Benchmarks: []Benchmark{}}
-	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	var cpu string
+	rep.Benchmarks, cpu = parse(os.Stdin)
+	rep.CPU = cpu
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rep.Baseline, _ = parse(f)
+		f.Close()
+	}
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}
+
+// parse reads bench text, returning the benchmark records and the
+// last cpu line seen.
+func parse(r io.Reader) ([]Benchmark, string) {
+	benches := []Benchmark{}
+	pkg, cpu := "", ""
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -46,7 +84,7 @@ func main() {
 		case strings.HasPrefix(line, "pkg: "):
 			pkg = strings.TrimPrefix(line, "pkg: ")
 		case strings.HasPrefix(line, "cpu: "):
-			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			cpu = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "goarch: "), strings.HasPrefix(line, "goos: "):
 			// Not recorded: the committed evidence should not churn
 			// across otherwise-identical runs on the same platform.
@@ -56,19 +94,14 @@ func main() {
 				continue
 			}
 			b.Package = pkg
-			rep.Benchmarks = append(rep.Benchmarks, b)
+			benches = append(benches, b)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	out, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	os.Stdout.Write(append(out, '\n'))
+	return benches, cpu
 }
 
 // parseBench parses one benchmark output line: name, iteration count,

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"sync"
 )
 
 // OPT computes a provably minimal schedule. The paper models the
@@ -41,6 +43,21 @@ func (OPT) Name() string { return "OPT" }
 // Limit returns the maximum accepted request count.
 func (o OPT) Limit() int { return o.limit }
 
+// optArena holds the Held-Karp working state — edge weights and the
+// 2^n * n dynamic-programming tables — so repeated small-batch calls
+// (the Auto policy's common case) allocate only the returned order.
+// Stale parent entries are never read: the backtrack only follows
+// states whose dp entry was written this call, and dp is
+// re-initialized to +Inf on every call.
+type optArena struct {
+	start  []float64
+	w      []float64 // flat n*n edge matrix
+	dp     []float64
+	parent []int8
+}
+
+var optPool = sync.Pool{New: func() any { return new(optArena) }}
+
 // Schedule solves the instance exactly.
 func (o OPT) Schedule(p *Problem) (Plan, error) {
 	if err := p.Validate(); err != nil {
@@ -54,18 +71,21 @@ func (o OPT) Schedule(p *Problem) (Plan, error) {
 		return Plan{}, nil
 	}
 
+	a := optPool.Get().(*optArena)
+	defer optPool.Put(a)
+
 	// Edge weights. Read times are order-independent and excluded.
-	start := make([]float64, n) // start[j]: head start -> request j
-	w := make([][]float64, n)   // w[i][j]: after reading i -> request j
+	start := grown(a.start, n) // start[j]: head start -> request j
+	w := grown(a.w, n*n)       // w[i*n+j]: after reading i -> request j
 	for i, ri := range p.Requests {
 		start[i] = p.Cost.LocateTime(p.Start, ri)
-		w[i] = make([]float64, n)
 		out := p.headAfter(ri)
 		for j, rj := range p.Requests {
 			if i == j {
+				w[i*n+j] = 0
 				continue
 			}
-			w[i][j] = p.Cost.LocateTime(out, rj)
+			w[i*n+j] = p.Cost.LocateTime(out, rj)
 		}
 	}
 
@@ -73,31 +93,34 @@ func (o OPT) Schedule(p *Problem) (Plan, error) {
 	// of a path that starts at the head position, visits exactly the
 	// requests in mask, and ends having just read request j.
 	size := 1 << n
-	dp := make([]float64, size*n)
-	parent := make([]int8, size*n)
+	dp := grown(a.dp, size*n)
+	parent := grown(a.parent, size*n)
+	inf := math.Inf(1)
 	for i := range dp {
-		dp[i] = math.Inf(1)
+		dp[i] = inf
 	}
 	for j := 0; j < n; j++ {
 		dp[(1<<j)*n+j] = start[j]
 		parent[(1<<j)*n+j] = -1
 	}
+	full := size - 1
 	for mask := 1; mask < size; mask++ {
 		base := mask * n
-		for j := 0; j < n; j++ {
-			if mask&(1<<j) == 0 {
-				continue
-			}
+		// Iterating set bits (j) and unset bits (k) ascending visits
+		// exactly the pairs the dense loops did, in the same order, so
+		// the strict-improvement tie-break — and hence the chosen
+		// schedule — is unchanged.
+		for set := mask; set != 0; set &= set - 1 {
+			j := bits.TrailingZeros64(uint64(set))
 			cur := dp[base+j]
-			if math.IsInf(cur, 1) {
+			if cur == inf {
 				continue
 			}
-			for k := 0; k < n; k++ {
-				if mask&(1<<k) != 0 {
-					continue
-				}
+			wj := w[j*n : j*n+n]
+			for rest := full &^ mask; rest != 0; rest &= rest - 1 {
+				k := bits.TrailingZeros64(uint64(rest))
 				next := (mask | 1<<k) * n
-				if c := cur + w[j][k]; c < dp[next+k] {
+				if c := cur + wj[k]; c < dp[next+k] {
 					dp[next+k] = c
 					parent[next+k] = int8(j)
 				}
@@ -105,8 +128,9 @@ func (o OPT) Schedule(p *Problem) (Plan, error) {
 		}
 	}
 
+	a.start, a.w, a.dp, a.parent = start, w, dp, parent
+
 	// The end city is unconstrained: take the best final request.
-	full := size - 1
 	bestJ, bestC := 0, math.Inf(1)
 	for j := 0; j < n; j++ {
 		if c := dp[full*n+j]; c < bestC {

@@ -19,6 +19,32 @@ import (
 // goroutine, so it must not call back into the drive.
 type TraceFunc func(obs.TraceEvent)
 
+// NumOps is the number of distinct operation names TraceFunc can
+// observe; OpIndex maps each onto a dense index so observers can keep
+// per-op state in flat arrays instead of keying maps by name on every
+// event.
+const NumOps = 6
+
+// OpIndex returns the dense index of a primitive's trace name, or -1
+// for a name outside the fixed set.
+func OpIndex(op string) int {
+	switch op {
+	case "locate":
+		return 0
+	case "read":
+		return 1
+	case "rewind":
+		return 2
+	case "recalibrate":
+		return 3
+	case "wait":
+		return 4
+	case "fullread":
+		return 5
+	}
+	return -1
+}
+
 // WithTrace attaches a trace hook at construction; nil disables
 // tracing (the default) at zero cost on the hot path.
 func WithTrace(fn TraceFunc) Option {

@@ -153,9 +153,22 @@ func (h *TraceHandle) ID() uint64 {
 	return h.id
 }
 
+// spanPool recycles SpanHandle structs between Start and End. The
+// handles are pure scratch — Record copies the completed Span value
+// (the ring takes ownership of the Attrs backing, which is why reuse
+// resets Attrs to nil instead of truncating) — so pooling them makes
+// an instrumented run's span overhead one allocation per span with
+// attributes and zero without, instead of one per Start.
+var spanPool = sync.Pool{New: func() any { return new(SpanHandle) }}
+
 // Start opens a span at startSec. parent may be nil (a root span);
 // a child inherits its parent's lane until Lane overrides it. The
 // span is not stored until End is called.
+//
+// The returned handle is only valid until its End: handles are pooled
+// and reused by later Starts, so holding one past End (for a late
+// Attr, a second End, or as a parent of a later span) corrupts an
+// unrelated span. Every parent must outlive its children's Starts.
 func (h *TraceHandle) Start(name string, parent *SpanHandle, startSec float64, attrs ...Label) *SpanHandle {
 	if h == nil {
 		return nil
@@ -164,7 +177,10 @@ func (h *TraceHandle) Start(name string, parent *SpanHandle, startSec float64, a
 	h.next++
 	id := h.next
 	h.mu.Unlock()
-	sp := &SpanHandle{t: h.t, s: Span{Trace: h.id, ID: id, Name: name, StartSec: startSec}}
+	sp := spanPool.Get().(*SpanHandle)
+	sp.t = h.t
+	sp.done = false
+	sp.s = Span{Trace: h.id, ID: id, Name: name, StartSec: startSec}
 	if parent != nil {
 		sp.s.Parent = parent.s.ID
 		sp.s.Lane = parent.s.Lane
@@ -224,13 +240,20 @@ func (sp *SpanHandle) SpanID() uint64 {
 	return sp.s.ID
 }
 
-// End closes the span at endSec and commits it to the tracer's store.
-// A second End is a no-op, as is End on a nil handle.
+// End closes the span at endSec, commits it to the tracer's store,
+// and returns the handle to the pool — the handle must not be used
+// afterwards (see Start). A second End before the handle is reissued
+// is still a no-op, as is End on a nil handle.
 func (sp *SpanHandle) End(endSec float64) {
 	if sp == nil || sp.done {
 		return
 	}
 	sp.done = true
 	sp.s.EndSec = endSec
-	sp.t.Record(sp.s)
+	t := sp.t
+	s := sp.s
+	sp.t = nil
+	sp.s.Attrs = nil // the ring owns the backing now
+	spanPool.Put(sp)
+	t.Record(s)
 }

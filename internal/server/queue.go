@@ -69,6 +69,28 @@ func (q *AdmissionQueue) PopN(n int) []Request {
 	return out
 }
 
+// PopNAppend is PopN into a caller-owned buffer: up to n requests
+// (n <= 0 drains the queue) are appended to dst and the extended
+// slice returned. Event loops that drain the queue on every tick use
+// it with a reused buffer, making the steady-state drain
+// allocation-free where PopN allocated per call.
+func (q *AdmissionQueue) PopNAppend(dst []Request, n int) []Request {
+	depth := q.Len()
+	if n <= 0 || n > depth {
+		n = depth
+	}
+	if n == 0 {
+		return dst
+	}
+	dst = append(dst, q.reqs[q.head:q.head+n]...)
+	q.head += n
+	if q.head > len(q.reqs)/2 {
+		q.reqs = append(q.reqs[:0], q.reqs[q.head:]...)
+		q.head = 0
+	}
+	return dst
+}
+
 // Admitted returns the number of requests ever admitted.
 func (q *AdmissionQueue) Admitted() int { return q.admitted }
 

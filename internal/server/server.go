@@ -18,6 +18,7 @@ package server
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"serpentine/internal/core"
 	"serpentine/internal/drive"
@@ -28,6 +29,34 @@ import (
 	"serpentine/internal/sim"
 	"serpentine/internal/stats"
 )
+
+// cartridges caches the generated tape and its characterized locate
+// model per serial. Both are pure functions of the serial (the server
+// always uses the DLT4000 format), immutable, and shared safely
+// across runs — while the sweeps spin up hundreds of runs that would
+// otherwise regenerate the same multi-megabyte tables per cell.
+var cartridges sync.Map // int64 -> *cartridge
+
+type cartridge struct {
+	tape  *geometry.Tape
+	model *locate.Model
+}
+
+func cartridgeFor(serial int64) (*cartridge, error) {
+	if c, ok := cartridges.Load(serial); ok {
+		return c.(*cartridge), nil
+	}
+	tape, err := geometry.Generate(geometry.DLT4000(), serial)
+	if err != nil {
+		return nil, fmt.Errorf("server: tape: %w", err)
+	}
+	model, err := locate.FromKeyPoints(tape.KeyPoints())
+	if err != nil {
+		return nil, fmt.Errorf("server: model: %w", err)
+	}
+	c, _ := cartridges.LoadOrStore(serial, &cartridge{tape: tape, model: model})
+	return c.(*cartridge), nil
+}
 
 // Config describes one online serving run.
 type Config struct {
@@ -161,6 +190,37 @@ type state struct {
 	root     *obs.SpanHandle
 	curBatch *obs.SpanHandle
 
+	// Cached metric handles, resolved lazily so the set of series a
+	// run creates is unchanged while the hot path renders no keys.
+	cRejected *obs.Counter
+	cServed   *obs.Counter
+	cFailed   *obs.Counter
+	hSojourn  *obs.Histogram
+	hService  *obs.Histogram
+	hBatchSec *obs.Histogram
+	hBatchSz  *obs.Histogram
+	opsC      [drive.NumOps]*obs.Counter
+	opsH      [drive.NumOps]*obs.Histogram
+
+	cIncRepl *obs.Counter
+
+	// Per-batch scratch, reused across batches so the steady-state
+	// loop allocates nothing: the cut batch, the incremental pending
+	// set, the drained-arrivals buffer, the segment list handed to the
+	// scheduler, the hoisted Problem, and the slot table recordExec
+	// uses to map served segments back to requests.
+	segsBuf  []int
+	batchBuf []Request
+	pendBuf  []Request
+	freshBuf []Request
+	prob     core.Problem
+	bySeg    map[int]int32
+	slots    [][]Request
+	slotHead []int
+	oneSeg   [1]int
+	onePlan  [1]int
+	oneReq   [1]Request
+
 	res Result
 }
 
@@ -186,7 +246,10 @@ func (s *state) admit(until float64) int {
 			n++
 		} else {
 			s.res.Rejected++
-			s.counter("rejected_total").Inc()
+			if s.cRejected == nil {
+				s.cRejected = s.counter("rejected_total")
+			}
+			s.cRejected.Inc()
 		}
 	}
 	return n
@@ -235,14 +298,11 @@ func Run(cfg Config, arrivals []Request) (*Result, error) {
 		return nil, fmt.Errorf("server: faults: %w", err)
 	}
 
-	tape, err := geometry.Generate(geometry.DLT4000(), serial)
+	cart, err := cartridgeFor(serial)
 	if err != nil {
-		return nil, fmt.Errorf("server: tape: %w", err)
+		return nil, err
 	}
-	model, err := locate.FromKeyPoints(tape.KeyPoints())
-	if err != nil {
-		return nil, fmt.Errorf("server: model: %w", err)
-	}
+	tape, model := cart.tape, cart.model
 	last := model.Segments() - readLen
 	prev := 0.0
 	for i, r := range arrivals {
@@ -294,8 +354,23 @@ func Run(cfg Config, arrivals []Request) (*Result, error) {
 		tr = reg.AttachTrace(cfg.TraceCap)
 	}
 	drv.AttachTrace(func(ev obs.TraceEvent) {
-		s.counter("drive_ops_total", obs.L("op", ev.Op)).Inc()
-		s.histogram("drive_op_seconds", obs.L("op", ev.Op)).Observe(ev.ElapsedSec)
+		if oi := drive.OpIndex(ev.Op); oi >= 0 {
+			c := s.opsC[oi]
+			if c == nil {
+				c = s.counter("drive_ops_total", obs.L("op", ev.Op))
+				s.opsC[oi] = c
+			}
+			c.Inc()
+			h := s.opsH[oi]
+			if h == nil {
+				h = s.histogram("drive_op_seconds", obs.L("op", ev.Op))
+				s.opsH[oi] = h
+			}
+			h.Observe(ev.ElapsedSec)
+		} else {
+			s.counter("drive_ops_total", obs.L("op", ev.Op)).Inc()
+			s.histogram("drive_op_seconds", obs.L("op", ev.Op)).Observe(ev.ElapsedSec)
+		}
 		if ev.Err != "" {
 			s.counter("drive_errors_total", obs.L("class", ev.Err)).Inc()
 		}
@@ -341,7 +416,8 @@ func (s *state) run() error {
 			s.idleUntil(boundary)
 			s.admit(boundary)
 		}
-		batch := s.queue.PopN(s.cfg.MaxBatch)
+		batch := s.queue.PopNAppend(s.batchBuf[:0], s.cfg.MaxBatch)
+		s.batchBuf = batch
 		var err error
 		if s.cfg.Policy == ReplanOnArrival {
 			err = s.serveIncremental(batch)
@@ -371,12 +447,13 @@ func (s *state) serveBatch(batch []Request) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	segs := make([]int, len(batch))
-	for i, r := range batch {
-		segs[i] = r.Segment
+	segs := s.segsBuf[:0]
+	for _, r := range batch {
+		segs = append(segs, r.Segment)
 	}
-	prob := &core.Problem{Start: s.drv.Position(), Requests: segs, ReadLen: s.readLen, Cost: s.model}
-	plan, err := s.sched.Schedule(prob)
+	s.segsBuf = segs
+	s.prob = core.Problem{Start: s.drv.Position(), Requests: segs, ReadLen: s.readLen, Cost: s.model}
+	plan, err := s.sched.Schedule(&s.prob)
 	if err != nil {
 		return fmt.Errorf("server: scheduling batch of %d: %w", len(batch), err)
 	}
@@ -386,7 +463,7 @@ func (s *state) serveBatch(batch []Request) error {
 	s.exec.Trace = s.trace
 	s.exec.Parent = s.curBatch
 	s.exec.TraceBase = s.idle
-	er, err := s.exec.Execute(prob, plan)
+	er, err := s.exec.Execute(&s.prob, plan)
 	if err != nil {
 		return fmt.Errorf("server: executing batch of %d: %w", len(batch), err)
 	}
@@ -402,7 +479,7 @@ func (s *state) serveBatch(batch []Request) error {
 // whenever arrivals landed during the last service (and after any
 // recalibration disturbed the head position).
 func (s *state) serveIncremental(batch []Request) error {
-	pending := append([]Request(nil), batch...)
+	pending := append(s.pendBuf[:0], batch...)
 	order, err := s.planOrder(pending)
 	if err != nil {
 		return err
@@ -420,23 +497,26 @@ func (s *state) serveIncremental(batch []Request) error {
 		req := pending[idx]
 		pending = append(pending[:idx], pending[idx+1:]...)
 
-		prob := &core.Problem{Start: s.drv.Position(), Requests: []int{seg}, ReadLen: s.readLen, Cost: s.model}
+		s.oneSeg[0], s.onePlan[0] = seg, seg
+		s.prob = core.Problem{Start: s.drv.Position(), Requests: s.oneSeg[:], ReadLen: s.readLen, Cost: s.model}
 		dispatch := s.now()
 		s.exec.Trace = s.trace
 		s.exec.Parent = s.curBatch
 		s.exec.TraceBase = s.idle
-		er, err := s.exec.Execute(prob, core.Plan{Order: []int{seg}})
+		er, err := s.exec.Execute(&s.prob, core.Plan{Order: s.onePlan[:]})
 		if err != nil {
 			return fmt.Errorf("server: executing request %d: %w", req.ID, err)
 		}
-		s.recordExec([]Request{req}, &er, dispatch)
+		s.oneReq[0] = req
+		s.recordExec(s.oneReq[:], &er, dispatch)
 
 		// Admit what arrived while the drive was busy; new work (or a
 		// recovery that moved the head) invalidates the remaining
 		// order, so re-plan from the current position.
 		merged := 0
 		if s.admit(s.now()) > 0 {
-			fresh := s.queue.PopN(0)
+			fresh := s.queue.PopNAppend(s.freshBuf[:0], 0)
+			s.freshBuf = fresh
 			merged = len(fresh)
 			size += merged
 			pending = append(pending, fresh...)
@@ -447,13 +527,17 @@ func (s *state) serveIncremental(batch []Request) error {
 		if merged > 0 || er.Recalibrations > 0 || len(order) == 0 {
 			if merged > 0 {
 				s.res.IncrementalReplans++
-				s.counter("incremental_replans_total").Inc()
+				if s.cIncRepl == nil {
+					s.cIncRepl = s.counter("incremental_replans_total")
+				}
+				s.cIncRepl.Inc()
 			}
 			if order, err = s.planOrder(pending); err != nil {
 				return err
 			}
 		}
 	}
+	s.pendBuf = pending
 	s.recordCut(size, s.now()-cutStart)
 	s.curBatch.AttrInt("size", size).End(s.now())
 	s.curBatch = nil
@@ -465,18 +549,23 @@ func (s *state) serveIncremental(batch []Request) error {
 func (s *state) recordCut(size int, elapsed float64) {
 	s.res.Batches++
 	s.res.BatchDurations = append(s.res.BatchDurations, elapsed)
-	s.histogram("batch_seconds").Observe(elapsed)
-	s.histogram("batch_size").Observe(float64(size))
+	if s.hBatchSec == nil {
+		s.hBatchSec = s.histogram("batch_seconds")
+		s.hBatchSz = s.histogram("batch_size")
+	}
+	s.hBatchSec.Observe(elapsed)
+	s.hBatchSz.Observe(float64(size))
 }
 
 // planOrder schedules the pending requests from the current head.
 func (s *state) planOrder(pending []Request) ([]int, error) {
-	segs := make([]int, len(pending))
-	for i, r := range pending {
-		segs[i] = r.Segment
+	segs := s.segsBuf[:0]
+	for _, r := range pending {
+		segs = append(segs, r.Segment)
 	}
-	prob := &core.Problem{Start: s.drv.Position(), Requests: segs, ReadLen: s.readLen, Cost: s.model}
-	plan, err := s.sched.Schedule(prob)
+	s.segsBuf = segs
+	s.prob = core.Problem{Start: s.drv.Position(), Requests: segs, ReadLen: s.readLen, Cost: s.model}
+	plan, err := s.sched.Schedule(&s.prob)
 	if err != nil {
 		return nil, fmt.Errorf("server: scheduling %d pending: %w", len(pending), err)
 	}
@@ -501,26 +590,34 @@ func indexOfSegment(pending []Request, seg int) int {
 // failure split, and the executor's recovery counters.
 func (s *state) recordExec(batch []Request, er *sim.ExecResult, dispatch float64) {
 	// Map each served/failed segment occurrence back to its request,
-	// FIFO per segment (duplicates are legal in a stream).
-	bySeg := make(map[int][]Request, len(batch))
+	// FIFO per segment (duplicates are legal in a stream). The map
+	// only holds slot indices into reusable per-segment slices, so
+	// the steady-state loop touches no fresh allocations.
+	if s.bySeg == nil {
+		s.bySeg = make(map[int]int32, len(batch))
+	}
+	nSlots := 0
 	for _, r := range batch {
-		bySeg[r.Segment] = append(bySeg[r.Segment], r)
-	}
-	take := func(seg int) (Request, bool) {
-		q := bySeg[seg]
-		if len(q) == 0 {
-			return Request{}, false
-		}
-		r := q[0]
-		bySeg[seg] = q[1:]
-		return r, true
-	}
-
-	for i, seg := range er.Served {
-		req, ok := take(seg)
-		if !ok {
+		if si, dup := s.bySeg[r.Segment]; dup {
+			s.slots[si] = append(s.slots[si], r)
 			continue
 		}
+		if nSlots == len(s.slots) {
+			s.slots = append(s.slots, nil)
+			s.slotHead = append(s.slotHead, 0)
+		}
+		s.slots[nSlots] = append(s.slots[nSlots][:0], r)
+		s.slotHead[nSlots] = 0
+		s.bySeg[r.Segment] = int32(nSlots)
+		nSlots++
+	}
+	for i, seg := range er.Served {
+		si, ok := s.bySeg[seg]
+		if !ok || s.slotHead[si] >= len(s.slots[si]) {
+			continue
+		}
+		req := s.slots[si][s.slotHead[si]]
+		s.slotHead[si]++
 		completion := dispatch + er.Completions[i]
 		sojourn := completion - req.ArrivalSec
 		service := er.Completions[i]
@@ -536,17 +633,26 @@ func (s *state) recordExec(batch []Request, er *sim.ExecResult, dispatch float64
 		s.res.SojournTimes = append(s.res.SojournTimes, sojourn)
 		s.res.Service.Add(service)
 		s.res.ServiceTimes = append(s.res.ServiceTimes, service)
-		s.counter("served_total").Inc()
-		s.histogram("sojourn_seconds").Observe(sojourn)
-		s.histogram("service_seconds").Observe(service)
+		if s.cServed == nil {
+			s.cServed = s.counter("served_total")
+			s.hSojourn = s.histogram("sojourn_seconds")
+			s.hService = s.histogram("service_seconds")
+		}
+		s.cServed.Inc()
+		s.hSojourn.Observe(sojourn)
+		s.hService.Observe(service)
 	}
 	for range er.Failed {
 		s.res.Failed++
-		s.counter("failed_total").Inc()
+		if s.cFailed == nil {
+			s.cFailed = s.counter("failed_total")
+		}
+		s.cFailed.Inc()
 	}
 	s.res.Retries += er.Retries
 	s.res.Replans += er.Replans
 	s.res.Recalibrations += er.Recalibrations
 	s.res.Fallbacks += er.Fallbacks
 	s.res.RecoverySec += er.RecoverySec
+	clear(s.bySeg)
 }

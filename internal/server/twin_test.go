@@ -1,0 +1,101 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"serpentine/internal/core"
+	"serpentine/internal/workload"
+)
+
+// TestAnalyticalTwinAccuracy pins the analytical twin's documented
+// accuracy envelope: on the paper's Fig. 6/7 operating points — closed
+// batches of N random retrievals under LOSS, N spanning solitary I/O
+// to the paper's 96-request schedules, at transfer lengths from one
+// segment to the ~MB class — the twin's mean sojourn is within 5% of
+// the discrete-event sim's. The residual is the locate model's
+// interpolation error against the emulated drive's per-cartridge
+// personality, the same residual the paper's Figure 8 measures.
+func TestAnalyticalTwinAccuracy(t *testing.T) {
+	t.Parallel()
+	points := []struct {
+		n, readLen int
+	}{
+		{1, 1},
+		{1, 32},
+		{10, 1},
+		{10, 32},
+		{96, 1},
+		{96, 32},
+	}
+	for _, pt := range points {
+		gen := workload.NewUniform(segmentSpace-pt.readLen, int64(9000+pt.n*64+pt.readLen))
+		arrivals := make([]Request, pt.n)
+		for i := range arrivals {
+			arrivals[i] = Request{ID: i, Segment: gen.Next()}
+		}
+		cfg := Config{
+			Scheduler: core.NewLOSS(),
+			ReadLen:   pt.readLen,
+		}
+		sim, err := Run(cfg, arrivals)
+		if err != nil {
+			t.Fatalf("N=%d L=%d: sim: %v", pt.n, pt.readLen, err)
+		}
+		twin, err := AnalyticalRun(cfg, arrivals)
+		if err != nil {
+			t.Fatalf("N=%d L=%d: twin: %v", pt.n, pt.readLen, err)
+		}
+		if twin.Served != sim.Served || twin.Batches != sim.Batches {
+			t.Fatalf("N=%d L=%d: twin served %d in %d batches, sim %d in %d",
+				pt.n, pt.readLen, twin.Served, twin.Batches, sim.Served, sim.Batches)
+		}
+		simMean, twinMean := sim.Sojourn.Mean(), twin.Sojourn.Mean()
+		relErr := math.Abs(twinMean-simMean) / simMean
+		t.Logf("N=%d L=%d: sim mean sojourn %.2fs, twin %.2fs, error %.2f%%",
+			pt.n, pt.readLen, simMean, twinMean, relErr*100)
+		if relErr > 0.05 {
+			t.Errorf("N=%d L=%d: twin mean sojourn %.2fs vs sim %.2fs: %.1f%% error exceeds the 5%% envelope",
+				pt.n, pt.readLen, twinMean, simMean, relErr*100)
+		}
+		if busyErr := math.Abs(twin.BusySec-sim.BusySec) / sim.BusySec; busyErr > 0.05 {
+			t.Errorf("N=%d L=%d: twin busy %.2fs vs sim %.2fs: %.1f%% error exceeds the 5%% envelope",
+				pt.n, pt.readLen, twin.BusySec, sim.BusySec, busyErr*100)
+		}
+	}
+}
+
+// TestAnalyticalTwinOpenStream sanity-checks the twin off the closed
+// operating points: a Poisson stream through each batching policy
+// still lands near the sim (decisions can diverge once service-time
+// differences shift batch boundaries, so the bound is looser than the
+// closed-batch envelope).
+func TestAnalyticalTwinOpenStream(t *testing.T) {
+	t.Parallel()
+	for _, policy := range AllPolicies() {
+		gen := workload.NewUniform(segmentSpace, 7301)
+		arrivals, err := PoissonStream(60.0/3600, 120, 7300, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Scheduler: core.NewLOSS(), Policy: policy, WindowSec: 300}
+		sim, err := Run(cfg, arrivals)
+		if err != nil {
+			t.Fatalf("%s: sim: %v", policy, err)
+		}
+		twin, err := AnalyticalRun(cfg, arrivals)
+		if err != nil {
+			t.Fatalf("%s: twin: %v", policy, err)
+		}
+		if twin.Served != sim.Served {
+			t.Fatalf("%s: twin served %d, sim %d", policy, twin.Served, sim.Served)
+		}
+		simMean, twinMean := sim.Sojourn.Mean(), twin.Sojourn.Mean()
+		relErr := math.Abs(twinMean-simMean) / simMean
+		t.Logf("%s: sim mean sojourn %.2fs, twin %.2fs, error %.2f%%", policy, simMean, twinMean, relErr*100)
+		if relErr > 0.10 {
+			t.Errorf("%s: twin mean sojourn %.2fs vs sim %.2fs: %.1f%% error exceeds 10%%",
+				policy, twinMean, simMean, relErr*100)
+		}
+	}
+}

@@ -168,7 +168,9 @@ type Executor struct {
 	// time t is recorded at TraceBase + t.
 	TraceBase float64
 
-	level int // current degradation tier for this execution
+	level int         // current degradation tier for this execution
+	pol   RetryPolicy // Policy with defaults resolved, set per Execute
+	rem   []int       // reusable remaining-requests buffer
 }
 
 // serve verdicts.
@@ -211,6 +213,7 @@ func (ex *Executor) Execute(p *core.Problem, plan core.Plan) (ExecResult, error)
 		return res, fmt.Errorf("sim: Executor needs a problem with a cost model")
 	}
 	ex.level = 0
+	ex.pol = ex.Policy.withDefaults()
 	readLen := p.ReadLen
 	if readLen < 1 {
 		readLen = 1
@@ -240,8 +243,17 @@ func (ex *Executor) Execute(p *core.Problem, plan core.Plan) (ExecResult, error)
 		return res, nil
 	}
 
-	remaining := make([]int, len(plan.Order))
+	if cap(ex.rem) < len(plan.Order) {
+		ex.rem = make([]int, len(plan.Order))
+	}
+	remaining := ex.rem[:len(plan.Order)]
 	copy(remaining, plan.Order)
+	// The served/completion slices are returned to the caller, so they
+	// are freshly allocated — but at final size, so the loop below
+	// never regrows them.
+	res.Served = make([]int, 0, len(plan.Order))
+	res.Completions = make([]float64, 0, len(plan.Order))
+	res.Detail = make([]ServeDetail, 0, len(plan.Order))
 	// strikes counts replan-triggering failures per segment: a
 	// segment that survives a replan and again exhausts its retries
 	// is abandoned rather than replanned forever.
@@ -282,7 +294,7 @@ func (ex *Executor) Execute(p *core.Problem, plan core.Plan) (ExecResult, error)
 				strikes = make(map[int]int)
 			}
 			strikes[seg]++
-			if strikes[seg] >= 2 || res.Replans >= ex.Policy.withDefaults().MaxReplans {
+			if strikes[seg] >= 2 || res.Replans >= ex.pol.MaxReplans {
 				res.Failed = append(res.Failed, seg)
 				remaining = remaining[1:]
 				continue
@@ -311,13 +323,26 @@ type serveClocks struct {
 // failure (media error, read past end of tape), vReplan when in-place
 // retry is exhausted or position was lost, and a non-nil error only
 // for invalid executions.
-func (ex *Executor) serve(seg, readLen int, res *ExecResult) (v verdict, clk serveClocks, err error) {
+func (ex *Executor) serve(seg, readLen int, res *ExecResult) (verdict, serveClocks, error) {
+	// The serve span brackets the whole loop. Closing it in a deferred
+	// closure would allocate the closure on every serve, traced or
+	// not; serveLoop returns normally on every path, so the span is
+	// closed inline instead.
+	sp := ex.Trace.Start("serve", ex.Parent, ex.TraceBase+ex.Drive.Clock()).AttrInt("segment", seg)
+	v, clk, err := ex.serveLoop(seg, readLen, res, sp)
+	if sp != nil {
+		sp.Attr("verdict", v.String()).End(ex.TraceBase + ex.Drive.Clock())
+	}
+	return v, clk, err
+}
+
+// serveLoop is serve's retry loop, span handling factored out. sp is
+// the enclosing serve span backoff spans nest under (nil untraced).
+func (ex *Executor) serveLoop(seg, readLen int, res *ExecResult, sp *obs.SpanHandle) (v verdict, clk serveClocks, err error) {
 	d := ex.Drive
-	pol := ex.Policy.withDefaults()
+	pol := ex.pol
 	begin := d.Clock()
 	clk.begin = begin
-	sp := ex.Trace.Start("serve", ex.Parent, ex.TraceBase+begin).AttrInt("segment", seg)
-	defer func() { sp.Attr("verdict", v.String()).End(ex.TraceBase + d.Clock()) }()
 	fails := 0
 	for {
 		if d.Lost() {
@@ -390,7 +415,7 @@ func (ex *Executor) serve(seg, readLen int, res *ExecResult) (v verdict, clk ser
 // the remaining set is rejected, and if every tier fails the current
 // order is kept.
 func (ex *Executor) replan(p *core.Problem, remaining []int, res *ExecResult, sp *obs.SpanHandle) []int {
-	pol := ex.Policy.withDefaults()
+	pol := ex.pol
 	prob := &core.Problem{
 		Start:    ex.Drive.Position(),
 		Requests: remaining,

@@ -1,0 +1,96 @@
+package tertiary
+
+// driveEvent is one drive-becomes-idle event on the virtual clock.
+type driveEvent struct {
+	at    float64
+	drive int
+}
+
+// eventLess is the heap order: virtual time, ties broken by drive id.
+// The order is a strict total order over the events a run produces
+// (one pending event per drive), so the pop sequence — and everything
+// downstream of it — is unique, independent of how the heap arranges
+// equal-priority siblings internally.
+func eventLess(a, b driveEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.drive < b.drive
+}
+
+// eventHeap is a hand-rolled binary min-heap over a flat slice. The
+// central dispatch loop pops and pushes one event per drive
+// completion, millions of times per sweep; going through
+// container/heap boxed every event into an interface value on both
+// sides (ISSUE 6). The flat implementation moves concrete values
+// only: push/pop are allocation-free in steady state (the backing
+// array is sized to the drive count up front), pinned by
+// TestDispatchLoopAllocs.
+type eventHeap struct {
+	ev []driveEvent
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+// min returns the earliest event without removing it. It must not be
+// called on an empty heap.
+func (h *eventHeap) min() driveEvent { return h.ev[0] }
+
+// push inserts one event.
+func (h *eventHeap) push(e driveEvent) {
+	h.ev = append(h.ev, e)
+	// Sift up.
+	ev := h.ev
+	i := len(ev) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(ev[i], ev[p]) {
+			break
+		}
+		ev[i], ev[p] = ev[p], ev[i]
+		i = p
+	}
+}
+
+// popMin removes and returns the earliest event. It must not be
+// called on an empty heap.
+func (h *eventHeap) popMin() driveEvent {
+	ev := h.ev
+	top := ev[0]
+	n := len(ev) - 1
+	ev[0] = ev[n]
+	h.ev = ev[:n]
+	h.siftDown(0)
+	return top
+}
+
+// popLE removes and returns the earliest event if it is at or before
+// t. This is the dispatch loop's batched wake: calling it until it
+// reports false drains everything due without re-deriving the cutoff
+// per element.
+func (h *eventHeap) popLE(t float64) (driveEvent, bool) {
+	if len(h.ev) == 0 || h.ev[0].at > t {
+		return driveEvent{}, false
+	}
+	return h.popMin(), true
+}
+
+func (h *eventHeap) siftDown(i int) {
+	ev := h.ev
+	n := len(ev)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(ev[r], ev[l]) {
+			m = r
+		}
+		if !eventLess(ev[m], ev[i]) {
+			return
+		}
+		ev[i], ev[m] = ev[m], ev[i]
+		i = m
+	}
+}

@@ -1,0 +1,72 @@
+package tertiary
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEventHeap drives the hand-rolled dispatch heap with an
+// arbitrary push/popMin/popLE program and checks its two invariants:
+// ordering (pops come out in strict (at, drive) order, and popLE
+// never returns an event after its cutoff) and conservation (every
+// pushed event is popped exactly once or still in the heap at the
+// end).
+func FuzzEventHeap(f *testing.F) {
+	f.Add([]byte{10, 3, 200, 7, 1, 0, 42, 5, 2})
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2, 2, 255})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var h eventHeap
+		pushed := make(map[driveEvent]int)
+
+		last := driveEvent{at: math.Inf(-1)}
+		check := func(ev driveEvent, viaLE bool, cutoff float64) {
+			if viaLE && ev.at > cutoff {
+				t.Fatalf("popLE(%g) returned event at %g", cutoff, ev.at)
+			}
+			// Drained runs must come out non-decreasing; duplicates
+			// are legal and compare equal.
+			if eventLess(ev, last) {
+				t.Fatalf("pop order violated: %+v after %+v", ev, last)
+			}
+			if pushed[ev] == 0 {
+				t.Fatalf("popped %+v more often than pushed", ev)
+			}
+			pushed[ev]--
+			last = ev
+		}
+		for i := 0; i < len(ops); i++ {
+			op := ops[i]
+			switch {
+			case op < 180 && i+2 < len(ops):
+				ev := driveEvent{at: float64(ops[i+1]), drive: int(ops[i+2] % 16)}
+				h.push(ev)
+				pushed[ev]++
+				// A push can legally precede earlier pops; reset the
+				// order watermark, which only constrains drain runs.
+				last = driveEvent{at: math.Inf(-1)}
+				i += 2
+			case op < 220:
+				if h.len() > 0 {
+					check(h.popMin(), false, 0)
+				}
+			default:
+				cutoff := float64(op - 220)
+				for {
+					ev, ok := h.popLE(cutoff)
+					if !ok {
+						break
+					}
+					check(ev, true, cutoff)
+				}
+			}
+		}
+		for h.len() > 0 {
+			check(h.popMin(), false, 0)
+		}
+		for ev, n := range pushed {
+			if n != 0 {
+				t.Fatalf("event %+v pushed but never popped (count %d)", ev, n)
+			}
+		}
+	})
+}

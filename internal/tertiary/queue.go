@@ -101,3 +101,34 @@ func (q *batchQueue) pick(excluded map[int64]bool) (int64, bool) {
 	}
 	return best, found
 }
+
+// pickFor is pick for the dispatch loop's hot path: instead of a
+// freshly built exclusion map it takes the run's standing
+// cartridge-location index (serial -> drive holding it) and the asking
+// drive, excluding exactly the cartridges loaded in *other* drives.
+// Same candidates, same tie-breaks, no per-dispatch allocation.
+func (q *batchQueue) pickFor(loadedBy map[int64]int, self int) (int64, bool) {
+	var (
+		best  int64
+		found bool
+	)
+	for serial, tq := range q.perTape {
+		if owner, loaded := loadedBy[serial]; loaded && owner != self {
+			continue
+		}
+		if !found {
+			best, found = serial, true
+			continue
+		}
+		bq := q.perTape[best]
+		switch {
+		case tq.len() > bq.len():
+			best = serial
+		case tq.len() == bq.len() && tq.oldest() < bq.oldest():
+			best = serial
+		case tq.len() == bq.len() && tq.oldest() == bq.oldest() && serial < best:
+			best = serial
+		}
+	}
+	return best, found
+}

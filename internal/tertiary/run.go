@@ -1,7 +1,6 @@
 package tertiary
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -17,7 +16,8 @@ import (
 
 // driveState tracks one transport through the simulation. Emptiness
 // is an explicit flag, not a sentinel serial: cartridge serial 0 is
-// as legal as any other.
+// as legal as any other. The states live in one flat slice on the
+// runState so the dispatch loop walks contiguous memory.
 type driveState struct {
 	id     int
 	dev    *drive.Drive
@@ -34,34 +34,13 @@ type driveState struct {
 	// of the batch the drive is executing; leaf spans nest there.
 	base     float64
 	curBatch *obs.SpanHandle
-}
 
-// driveEvent is one drive-becomes-idle event on the virtual clock.
-type driveEvent struct {
-	at    float64
-	drive int
-}
-
-// eventHeap is the shared virtual-time event heap the per-drive state
-// machines advance over. Ties break by drive id so the wake order —
-// and everything downstream of it — is deterministic.
-type eventHeap []driveEvent
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].drive < h[j].drive
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(driveEvent)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+	// dl is the drive's metric label; opsC caches the per-op counters
+	// so the trace hook's fast path renders no metric keys. traceFn is
+	// the hook itself, built once and re-attached on every exchange.
+	dl      obs.Label
+	opsC    [drive.NumOps]*obs.Counter
+	traceFn drive.TraceFunc
 }
 
 // runState is one Run's event loop.
@@ -73,7 +52,8 @@ type runState struct {
 	queueCap  int
 	adm       *server.AdmissionQueue
 	q         *batchQueue
-	drives    []*driveState
+	drives    []driveState
+	loadedBy  map[int64]int // cartridge serial -> drive holding it
 	events    eventHeap
 	robotFree float64 // virtual time the robot arm finishes its last exchange
 	reg       *obs.Registry
@@ -82,6 +62,39 @@ type runState struct {
 	root      *obs.SpanHandle
 	done      []Completion
 	m         Metrics
+
+	// ex is the run's one recovering executor, re-pointed at the
+	// mounted drive per size class; prob is the reusable scheduling
+	// problem handed to it.
+	ex   sim.Executor
+	prob core.Problem
+
+	// Cached metric handles. Registry lookups render and hash the full
+	// label set per call; the hot path resolves each series once and
+	// holds the handle. Resolution stays lazy so the set of series a
+	// run creates — and therefore every committed metrics dump — is
+	// unchanged.
+	cRejected *obs.Counter
+	cUnmounts *obs.Counter
+	cBatches  *obs.Counter
+	cServed   *obs.Counter
+	cFailed   *obs.Counter
+	cMounts   map[int64]*obs.Counter
+	hLatency  map[int64]*obs.Histogram
+	hRobotW   *obs.Histogram
+	hBatchSz  *obs.Histogram
+	hBatchSec *obs.Histogram
+	hOpSec    [drive.NumOps]*obs.Histogram
+
+	// Per-batch scratch, reused across batches: the distinct extent
+	// starts of one size class (uniq becomes the scheduling problem's
+	// request list) and the start -> requests multimap (slotOf indexes
+	// into slots, whose per-slot slices keep their backing arrays).
+	// Both maps drain back to empty by the end of each batch.
+	uniq   []int
+	slotOf map[int]int32
+	slots  [][]pending
+	admBuf []server.Request
 }
 
 func (s *runState) counter(name string, extra ...obs.Label) *obs.Counter {
@@ -94,6 +107,24 @@ func (s *runState) histogram(name string, extra ...obs.Label) *obs.Histogram {
 
 func (s *runState) gauge(name string, extra ...obs.Label) *obs.Gauge {
 	return s.reg.Gauge(name, append(extra, s.cfg.Labels...)...)
+}
+
+func (s *runState) mountsCounter(serial int64) *obs.Counter {
+	c := s.cMounts[serial]
+	if c == nil {
+		c = s.counter("mounts_total", obs.L("tape", strconv.FormatInt(serial, 10)))
+		s.cMounts[serial] = c
+	}
+	return c
+}
+
+func (s *runState) latencyHist(serial int64) *obs.Histogram {
+	h := s.hLatency[serial]
+	if h == nil {
+		h = s.histogram("latency_seconds", obs.L("tape", strconv.FormatInt(serial, 10)))
+		s.hLatency[serial] = h
+	}
+	return h
 }
 
 // Run serves every request and returns the completions (in completion
@@ -168,11 +199,20 @@ func (l *Library) newRun(requests []Request) (*runState, error) {
 		queueCap: queueCap,
 		adm:      server.NewAdmissionQueue(admCap),
 		q:        newBatchQueue(),
-		drives:   make([]*driveState, l.cfg.Drives),
+		drives:   make([]driveState, l.cfg.Drives),
+		loadedBy: make(map[int64]int, l.cfg.Drives),
 		reg:      reg,
+		done:     make([]Completion, 0, len(arrivals)),
+		cMounts:  make(map[int64]*obs.Counter),
+		hLatency: make(map[int64]*obs.Histogram),
 	}
+	s.events.ev = make([]driveEvent, 0, l.cfg.Drives)
 	for i := range s.drives {
-		s.drives[i] = &driveState{id: i, idle: true}
+		d := &s.drives[i]
+		d.id = i
+		d.idle = true
+		d.dl = obs.L("drive", strconv.Itoa(i))
+		d.traceFn = s.driveTraceFn(d)
 	}
 	if l.cfg.TraceCap > 0 {
 		s.tr = reg.AttachTrace(l.cfg.TraceCap)
@@ -199,11 +239,15 @@ func (s *runState) admit(until float64) {
 		if s.q.len()+s.adm.Len() >= s.queueCap ||
 			!s.adm.Offer(server.Request{ID: id, Segment: p.obj.Start, ArrivalSec: p.req.Arrival}) {
 			s.m.Rejected++
-			s.counter("rejected_total").Inc()
+			if s.cRejected == nil {
+				s.cRejected = s.counter("rejected_total")
+			}
+			s.cRejected.Inc()
 		}
 	}
 	// Drain the admission queue into the robot's per-cartridge view.
-	for _, r := range s.adm.PopN(0) {
+	s.admBuf = s.adm.PopNAppend(s.admBuf[:0], 0)
+	for _, r := range s.admBuf {
 		s.q.push(s.arrivals[r.ID])
 	}
 	if d := s.q.len(); d > s.m.MaxQueueDepth {
@@ -211,32 +255,21 @@ func (s *runState) admit(until float64) {
 	}
 }
 
-// excluded returns the cartridge serials d must not pick: those
-// loaded in any other drive. A cartridge is physically in one place.
-func (s *runState) excluded(d *driveState) map[int64]bool {
-	var ex map[int64]bool
-	for _, o := range s.drives {
-		if o != d && o.loaded {
-			if ex == nil {
-				ex = make(map[int64]bool, len(s.drives))
-			}
-			ex[o.serial] = true
-		}
-	}
-	return ex
-}
-
 // dispatch hands work to every idle drive, in drive-id order. Under
 // ReplanOnArrival a drive with work pending for its own mounted
 // cartridge keeps it (one request per dispatch, so every decision
 // sees the freshest queue); under FixedWindow nothing dispatches off
-// a window boundary.
+// a window boundary. A cartridge is physically in one place, so a
+// drive never picks a cartridge loaded elsewhere: the standing
+// loadedBy index carries the exclusion, with no per-dispatch set
+// building.
 func (s *runState) dispatch(now float64, boundary bool) error {
 	if s.cfg.Policy == server.FixedWindow && !boundary {
 		return nil
 	}
 	if s.cfg.Policy == server.ReplanOnArrival {
-		for _, d := range s.drives {
+		for i := range s.drives {
+			d := &s.drives[i]
 			if d.idle && d.loaded && s.q.perTape[d.serial] != nil {
 				if err := s.serve(d, d.serial, now); err != nil {
 					return err
@@ -244,11 +277,12 @@ func (s *runState) dispatch(now float64, boundary bool) error {
 			}
 		}
 	}
-	for _, d := range s.drives {
+	for i := range s.drives {
+		d := &s.drives[i]
 		if !d.idle {
 			continue
 		}
-		serial, ok := s.q.pick(s.excluded(d))
+		serial, ok := s.q.pickFor(s.loadedBy, d.id)
 		if !ok {
 			continue
 		}
@@ -265,8 +299,8 @@ func (s *runState) dispatch(now float64, boundary bool) error {
 // is strictly after now, so the loop always progresses.
 func (s *runState) nextTime(now float64) (t float64, boundary, ok bool) {
 	t = math.Inf(1)
-	if len(s.events) > 0 {
-		t, ok = s.events[0].at, true
+	if s.events.len() > 0 {
+		t, ok = s.events.min().at, true
 	}
 	if s.next < len(s.arrivals) {
 		if a := s.arrivals[s.next].req.Arrival; a < t {
@@ -288,8 +322,8 @@ func (s *runState) nextTime(now float64) (t float64, boundary, ok bool) {
 }
 
 func (s *runState) anyIdle() bool {
-	for _, d := range s.drives {
-		if d.idle {
+	for i := range s.drives {
+		if s.drives[i].idle {
 			return true
 		}
 	}
@@ -298,8 +332,11 @@ func (s *runState) anyIdle() bool {
 
 // wake pops every event at or before now, marking its drive idle.
 func (s *runState) wake(now float64) {
-	for len(s.events) > 0 && s.events[0].at <= now {
-		ev := heap.Pop(&s.events).(driveEvent)
+	for {
+		ev, ok := s.events.popLE(now)
+		if !ok {
+			return
+		}
 		s.drives[ev.drive].idle = true
 	}
 }
@@ -326,25 +363,36 @@ func (s *runState) exchange(d *driveState, serial int64, now float64) (rewind, w
 		exDur += s.cfg.UnmountSec
 		s.m.Unmounts++
 		s.m.RobotMoves++
-		s.counter("unmounts_total").Inc()
+		if s.cUnmounts == nil {
+			s.cUnmounts = s.counter("unmounts_total")
+		}
+		s.cUnmounts.Inc()
+		delete(s.loadedBy, d.serial)
 	}
 	exDur += s.cfg.MountSec
 	s.m.Mounts++
 	s.m.RobotMoves++
-	s.counter("mounts_total", obs.L("tape", strconv.FormatInt(serial, 10))).Inc()
+	s.mountsCounter(serial).Inc()
 
 	wait = 0.0
 	exStart := now + rewind
 	if s.robotFree > exStart {
 		wait = s.robotFree - exStart
 		s.m.RobotWaitSec += wait
-		s.histogram("robot_wait_seconds").Observe(wait)
-		s.trace.Start("robot-wait", d.curBatch, exStart).End(exStart + wait)
+		if s.hRobotW == nil {
+			s.hRobotW = s.histogram("robot_wait_seconds")
+		}
+		s.hRobotW.Observe(wait)
+		if s.trace != nil {
+			s.trace.Start("robot-wait", d.curBatch, exStart).End(exStart + wait)
+		}
 	}
 	s.robotFree = exStart + wait + exDur
 	s.m.RobotBusySec += exDur
-	s.trace.Start("exchange", d.curBatch, exStart+wait).
-		Attr("tape", strconv.FormatInt(serial, 10)).End(exStart + wait + exDur)
+	if s.trace != nil {
+		s.trace.Start("exchange", d.curBatch, exStart+wait).
+			Attr("tape", strconv.FormatInt(serial, 10)).End(exStart + wait + exDur)
+	}
 
 	dev := drive.New(s.l.tapes[serial])
 	if s.cfg.Faults.Enabled() {
@@ -352,25 +400,44 @@ func (s *runState) exchange(d *driveState, serial int64, now float64) (rewind, w
 		f.Seed = deriveFaultSeed(s.cfg.Faults.Seed, serial, d.id, d.mounts)
 		dev.AttachFaults(fault.New(f))
 	}
-	s.attachTrace(dev, d)
+	dev.AttachTrace(d.traceFn)
 	d.dev = dev
 	d.serial = serial
 	d.loaded = true
 	d.mounts++
+	s.loadedBy[serial] = d.id
 	return rewind, wait, exDur
 }
 
-// attachTrace feeds every drive operation into the per-op counters
-// and histograms, the bounded trace ring when one is attached, and a
-// leaf span under the drive's executing batch. Tracing never perturbs
-// drive timing.
-func (s *runState) attachTrace(dev *drive.Drive, d *driveState) {
-	dl := obs.L("drive", strconv.Itoa(d.id))
-	dev.AttachTrace(func(ev obs.TraceEvent) {
-		s.counter("drive_ops_total", obs.L("op", ev.Op), dl).Inc()
-		s.histogram("drive_op_seconds", obs.L("op", ev.Op)).Observe(ev.ElapsedSec)
+// driveTraceFn builds the drive's trace hook: every operation feeds
+// the per-op counters and histograms, the bounded trace ring when one
+// is attached, and a leaf span under the drive's executing batch.
+// Tracing never perturbs drive timing. The hook is built once per
+// drive and re-attached on every exchange; its metric handles are
+// cached in flat arrays, so with spans and the ring disabled the per
+// operation cost is two handle increments — no key rendering, no map
+// lookups, no allocation.
+func (s *runState) driveTraceFn(d *driveState) drive.TraceFunc {
+	return func(ev obs.TraceEvent) {
+		if oi := drive.OpIndex(ev.Op); oi >= 0 {
+			c := d.opsC[oi]
+			if c == nil {
+				c = s.counter("drive_ops_total", obs.L("op", ev.Op), d.dl)
+				d.opsC[oi] = c
+			}
+			c.Inc()
+			h := s.hOpSec[oi]
+			if h == nil {
+				h = s.histogram("drive_op_seconds", obs.L("op", ev.Op))
+				s.hOpSec[oi] = h
+			}
+			h.Observe(ev.ElapsedSec)
+		} else {
+			s.counter("drive_ops_total", obs.L("op", ev.Op), d.dl).Inc()
+			s.histogram("drive_op_seconds", obs.L("op", ev.Op)).Observe(ev.ElapsedSec)
+		}
 		if ev.Err != "" {
-			s.counter("drive_errors_total", obs.L("class", ev.Err), dl).Inc()
+			s.counter("drive_errors_total", obs.L("class", ev.Err), d.dl).Inc()
 		}
 		if s.tr != nil {
 			s.tr.Add(ev)
@@ -385,7 +452,7 @@ func (s *runState) attachTrace(dev *drive.Drive, d *driveState) {
 			}
 			sp.End(d.base + ev.ClockSec + ev.ElapsedSec)
 		}
-	})
+	}
 }
 
 // serve cuts a batch for the cartridge off the backlog and executes
@@ -403,8 +470,10 @@ func (s *runState) serve(d *driveState, serial int64, now float64) error {
 		return fmt.Errorf("tertiary: internal: dispatched empty batch for tape %d", serial)
 	}
 	d.idle = false
-	d.curBatch = s.trace.Start("batch", s.root, now).Lane(1+d.id).
-		Attr("tape", strconv.FormatInt(serial, 10)).AttrInt("size", len(batch))
+	if s.trace != nil {
+		d.curBatch = s.trace.Start("batch", s.root, now).Lane(1+d.id).
+			Attr("tape", strconv.FormatInt(serial, 10)).AttrInt("size", len(batch))
+	}
 
 	var rewind, wait, exDur float64
 	if !d.loaded || d.serial != serial {
@@ -418,39 +487,61 @@ func (s *runState) serve(d *driveState, serial int64, now float64) error {
 
 	// Group the batch into size classes, biggest class first (count
 	// desc, then extent length asc — a deterministic order despite
-	// map iteration).
-	byLen := make(map[int][]pending)
-	for _, p := range batch {
-		byLen[p.obj.segments()] = append(byLen[p.obj.segments()], p)
-	}
-	lens := make([]int, 0, len(byLen))
-	for k := range byLen {
-		lens = append(lens, k)
-	}
-	sort.Slice(lens, func(i, j int) bool {
-		if len(byLen[lens[i]]) != len(byLen[lens[j]]) {
-			return len(byLen[lens[i]]) > len(byLen[lens[j]])
+	// map iteration). Nearly every real batch is a single class —
+	// catalogs store fixed-size objects — so that case skips the
+	// grouping machinery entirely.
+	rl0 := batch[0].obj.segments()
+	single := true
+	for i := 1; i < len(batch); i++ {
+		if batch[i].obj.segments() != rl0 {
+			single = false
+			break
 		}
-		return lens[i] < lens[j]
-	})
-
-	for _, rl := range lens {
-		if err := s.serveClass(d, serial, now, serveStart, c0, wait, rewind+exDur, rl, byLen[rl]); err != nil {
+	}
+	if single {
+		if err := s.serveClass(d, serial, now, serveStart, c0, wait, rewind+exDur, rl0, batch); err != nil {
 			return err
+		}
+	} else {
+		byLen := make(map[int][]pending)
+		for _, p := range batch {
+			byLen[p.obj.segments()] = append(byLen[p.obj.segments()], p)
+		}
+		lens := make([]int, 0, len(byLen))
+		for k := range byLen {
+			lens = append(lens, k)
+		}
+		sort.Slice(lens, func(i, j int) bool {
+			if len(byLen[lens[i]]) != len(byLen[lens[j]]) {
+				return len(byLen[lens[i]]) > len(byLen[lens[j]])
+			}
+			return lens[i] < lens[j]
+		})
+		for _, rl := range lens {
+			if err := s.serveClass(d, serial, now, serveStart, c0, wait, rewind+exDur, rl, byLen[rl]); err != nil {
+				return err
+			}
 		}
 	}
 
 	elapsed := d.dev.Clock() - c0
 	end := serveStart + elapsed
 	d.busy += rewind + wait + exDur + elapsed
-	heap.Push(&s.events, driveEvent{at: end, drive: d.id})
+	s.events.push(driveEvent{at: end, drive: d.id})
 	if end > s.m.Makespan {
 		s.m.Makespan = end
 	}
 	s.m.Batches++
-	s.counter("batches_total").Inc()
-	s.histogram("batch_size").Observe(float64(len(batch)))
-	s.histogram("batch_seconds").Observe(rewind + wait + exDur + elapsed)
+	if s.cBatches == nil {
+		s.cBatches = s.counter("batches_total")
+	}
+	s.cBatches.Inc()
+	if s.hBatchSz == nil {
+		s.hBatchSz = s.histogram("batch_size")
+		s.hBatchSec = s.histogram("batch_seconds")
+	}
+	s.hBatchSz.Observe(float64(len(batch)))
+	s.hBatchSec.Observe(rewind + wait + exDur + elapsed)
 	d.curBatch.End(end)
 	d.curBatch = nil
 	return nil
@@ -464,39 +555,53 @@ func (s *runState) serve(d *driveState, serial int64, now float64) error {
 // exchange costs every request in the batch sat through, attributed
 // to each.
 func (s *runState) serveClass(d *driveState, serial int64, now, serveStart, c0, robotSec, mountSec float64, rl int, group []pending) error {
-	uniq := make([]int, 0, len(group))
-	byStart := make(map[int][]pending, len(group))
-	for _, p := range group {
-		if _, dup := byStart[p.obj.Start]; !dup {
-			uniq = append(uniq, p.obj.Start)
-		}
-		byStart[p.obj.Start] = append(byStart[p.obj.Start], p)
+	// The start -> pending-requests multimap lives in run-lifetime
+	// scratch: slotOf indexes into slots, whose per-slot slices keep
+	// their backing arrays across batches. Every entry is deleted as
+	// its segment is served or failed below, so the map is empty again
+	// by the time the class is done.
+	uniq := s.uniq[:0]
+	if s.slotOf == nil {
+		s.slotOf = make(map[int]int32, len(group))
 	}
+	nSlots := 0
+	for _, p := range group {
+		if si, dup := s.slotOf[p.obj.Start]; dup {
+			s.slots[si] = append(s.slots[si], p)
+			continue
+		}
+		if nSlots == len(s.slots) {
+			s.slots = append(s.slots, nil)
+		}
+		s.slots[nSlots] = append(s.slots[nSlots][:0], p)
+		s.slotOf[p.obj.Start] = int32(nSlots)
+		uniq = append(uniq, p.obj.Start)
+		nSlots++
+	}
+	s.uniq = uniq
 
-	prob := &core.Problem{Start: d.dev.Position(), Requests: uniq, ReadLen: rl, Cost: s.l.models[serial]}
-	plan, err := s.l.sched.Schedule(prob)
+	s.prob = core.Problem{Start: d.dev.Position(), Requests: uniq, ReadLen: rl, Cost: s.l.models[serial]}
+	plan, err := s.l.sched.Schedule(&s.prob)
 	if err != nil {
 		return fmt.Errorf("tertiary: scheduling %d requests on tape %d: %w", len(uniq), serial, err)
 	}
 
-	ex := &sim.Executor{
-		Drive: d.dev, Scheduler: s.l.sched, Policy: s.cfg.Retry,
-		Trace: s.trace, Parent: d.curBatch, TraceBase: d.base,
-	}
+	s.ex.Drive, s.ex.Scheduler, s.ex.Policy = d.dev, s.l.sched, s.cfg.Retry
+	s.ex.Trace, s.ex.Parent, s.ex.TraceBase = s.trace, d.curBatch, d.base
 	base := d.dev.Clock()
-	er, err := ex.Execute(prob, plan)
+	er, err := s.ex.Execute(&s.prob, plan)
 	if err != nil {
 		return fmt.Errorf("tertiary: executing %d requests on tape %d: %w", len(uniq), serial, err)
 	}
 
 	offset := base - c0
 	for i, seg := range er.Served {
-		ps := byStart[seg]
-		if len(ps) == 0 {
+		si, ok := s.slotOf[seg]
+		if !ok {
 			return fmt.Errorf("tertiary: schedule visits segment %d on tape %d more often than requested", seg, serial)
 		}
 		det := er.Detail[i]
-		for _, p := range ps {
+		for _, p := range s.slots[si] {
 			done := serveStart + offset + er.Completions[i]
 			attr := Attribution{
 				QueueSec:    (now - p.req.Arrival) + offset + det.BeginSec,
@@ -523,23 +628,28 @@ func (s *runState) serveClass(d *driveState, serial int64, now, serveStart, c0, 
 					AttrFloat("retry_sec", attr.RetrySec).
 					End(done)
 			}
-			s.counter("served_total").Inc()
-			s.histogram("latency_seconds", obs.L("tape", strconv.FormatInt(serial, 10))).
-				Observe(serveStart + offset + er.Completions[i] - p.req.Arrival)
+			if s.cServed == nil {
+				s.cServed = s.counter("served_total")
+			}
+			s.cServed.Inc()
+			s.latencyHist(serial).Observe(serveStart + offset + er.Completions[i] - p.req.Arrival)
 		}
-		delete(byStart, seg)
+		delete(s.slotOf, seg)
 	}
 	for _, seg := range er.Failed {
-		ps := byStart[seg]
-		if len(ps) == 0 {
+		si, ok := s.slotOf[seg]
+		if !ok {
 			return fmt.Errorf("tertiary: schedule visits segment %d on tape %d more often than requested", seg, serial)
 		}
-		s.m.Failed += len(ps)
-		s.counter("failed_total").Add(int64(len(ps)))
-		delete(byStart, seg)
+		s.m.Failed += len(s.slots[si])
+		if s.cFailed == nil {
+			s.cFailed = s.counter("failed_total")
+		}
+		s.cFailed.Add(int64(len(s.slots[si])))
+		delete(s.slotOf, seg)
 	}
-	if len(byStart) > 0 {
-		return fmt.Errorf("tertiary: schedule for tape %d left %d segments unvisited", serial, len(byStart))
+	if len(s.slotOf) > 0 {
+		return fmt.Errorf("tertiary: schedule for tape %d left %d segments unvisited", serial, len(s.slotOf))
 	}
 	s.m.Retries += er.Retries
 	s.m.Replans += er.Replans
@@ -552,13 +662,14 @@ func (s *runState) serveClass(d *driveState, serial int64, now, serveStart, c0, 
 // finish retires the wear of still-loaded cartridges and folds the
 // completions into the summary metrics.
 func (s *runState) finish() {
-	for _, d := range s.drives {
+	for i := range s.drives {
+		d := &s.drives[i]
 		if d.loaded {
 			d.passes += d.dev.Stats().HeadPasses(s.cfg.Profile)
 		}
 		s.m.DriveBusySec += d.busy
 		s.m.HeadPasses += d.passes
-		s.gauge("drive_busy_seconds", obs.L("drive", strconv.Itoa(d.id))).Set(d.busy)
+		s.gauge("drive_busy_seconds", d.dl).Set(d.busy)
 	}
 	var latSum float64
 	for _, c := range s.done {

@@ -72,6 +72,13 @@ type SweepConfig struct {
 	// the Cell. Per-cell capture keeps the spans — like the metrics —
 	// byte-identical at any worker count.
 	SpanCap int
+	// Analytical replaces each cell's event-driven run with the
+	// closed-form twin (Library.Estimate): same admission, batching,
+	// robot and scheduling decisions, model-based costs instead of
+	// drive emulation. Faults, metrics registries and spans are not
+	// produced in this mode; use it for coarse grid scans. See
+	// Estimate for the accuracy envelope.
+	Analytical bool
 }
 
 // Cell is one (rate, drives, batch limit) outcome.
@@ -235,7 +242,11 @@ func Sweep(cfg SweepConfig) ([]Cell, error) {
 						obs.L("batch", strconv.Itoa(limit)),
 					},
 				})
-				comps, m, err := lib.Run(stream)
+				run := lib.Run
+				if cfg.Analytical {
+					run = lib.Estimate
+				}
+				comps, m, err := run(stream)
 				if err != nil {
 					reportErr(errs, fmt.Errorf("tertiary: sweep cell %g/h %dd limit %d: %w", rate, drives, limit, err))
 					return

@@ -1,0 +1,147 @@
+package tertiary
+
+import (
+	"math"
+	"testing"
+
+	"serpentine/internal/core"
+)
+
+// buildTwinLibrary builds a 4-tape store shaped like the sweep's, and
+// a request stream over it.
+func buildTwinLibrary(t *testing.T, drives, batchLimit int) (*Library, []Request) {
+	t.Helper()
+	const tapes, objects, objSegs = 4, 256, 32
+	catalog := NewCatalog()
+	serials := make([]int64, tapes)
+	for tp := 0; tp < tapes; tp++ {
+		serials[tp] = int64(4000 + tp)
+	}
+	lib0, err := New(Config{Tapes: serials}, mustSweepCatalog(t, catalog, serials, objects, objSegs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := lib0.clone(Config{
+		Tapes:      serials,
+		Drives:     drives,
+		BatchLimit: batchLimit,
+		Scheduler:  core.NewLOSS(),
+	})
+	stream, err := sweepStream(240, 200, 424242, tapes, objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, stream
+}
+
+func mustSweepCatalog(t *testing.T, catalog *Catalog, serials []int64, objects, objSegs int) *Catalog {
+	t.Helper()
+	for ti, serial := range serials {
+		for o := 0; o < objects; o++ {
+			if err := catalog.Put(Object{
+				ID:       sweepObjectID(ti, o),
+				Tape:     serial,
+				Start:    o * 2048,
+				Segments: objSegs,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return catalog
+}
+
+// TestEstimateMatchesRunClosedBatch pins the library twin on a closed
+// workload: every request arrives at time zero, so the twin makes the
+// identical admission, batching, robot and scheduling decisions as the
+// event-driven run and differs only by the locate model's
+// interpolation error — within the documented 5% envelope, and with
+// identical discrete decision counts.
+func TestEstimateMatchesRunClosedBatch(t *testing.T) {
+	t.Parallel()
+	lib, stream := buildTwinLibrary(t, 2, 16)
+	for i := range stream {
+		stream[i].Arrival = 0
+	}
+	simComps, simM, err := lib.Run(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twinComps, twinM, err := lib.Estimate(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(twinComps) != len(simComps) || twinM.Served != simM.Served {
+		t.Fatalf("twin served %d, sim %d", twinM.Served, simM.Served)
+	}
+	if twinM.Mounts != simM.Mounts || twinM.Batches != simM.Batches || twinM.Unmounts != simM.Unmounts {
+		t.Fatalf("twin decisions diverged: mounts %d/%d, unmounts %d/%d, batches %d/%d",
+			twinM.Mounts, simM.Mounts, twinM.Unmounts, simM.Unmounts, twinM.Batches, simM.Batches)
+	}
+	relErr := math.Abs(twinM.MeanLatency-simM.MeanLatency) / simM.MeanLatency
+	t.Logf("sim mean latency %.2fs, twin %.2fs, error %.2f%%", simM.MeanLatency, twinM.MeanLatency, relErr*100)
+	if relErr > 0.05 {
+		t.Errorf("twin mean latency %.2fs vs sim %.2fs: %.1f%% error exceeds the 5%% envelope",
+			twinM.MeanLatency, simM.MeanLatency, relErr*100)
+	}
+	if busyErr := math.Abs(twinM.DriveBusySec-simM.DriveBusySec) / simM.DriveBusySec; busyErr > 0.05 {
+		t.Errorf("twin drive busy %.2fs vs sim %.2fs: %.1f%% error exceeds the 5%% envelope",
+			twinM.DriveBusySec, simM.DriveBusySec, busyErr*100)
+	}
+}
+
+// TestEstimateOpenStream sanity-checks the twin on the sweep's own
+// Poisson/Zipf workload, where service-time differences can shift
+// dispatch decisions: the estimate still lands near the sim.
+func TestEstimateOpenStream(t *testing.T) {
+	t.Parallel()
+	lib, stream := buildTwinLibrary(t, 2, 16)
+	_, simM, err := lib.Run(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, twinM, err := lib.Estimate(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twinM.Served != simM.Served {
+		t.Fatalf("twin served %d, sim %d", twinM.Served, simM.Served)
+	}
+	relErr := math.Abs(twinM.MeanLatency-simM.MeanLatency) / simM.MeanLatency
+	t.Logf("sim mean latency %.2fs, twin %.2fs, error %.2f%%", simM.MeanLatency, twinM.MeanLatency, relErr*100)
+	if relErr > 0.10 {
+		t.Errorf("twin mean latency %.2fs vs sim %.2fs: %.1f%% error exceeds 10%%",
+			twinM.MeanLatency, simM.MeanLatency, relErr*100)
+	}
+}
+
+// TestSweepAnalytical exercises the sweep-level selection: the
+// analytical sweep covers the same grid and serves every cell's
+// stream.
+func TestSweepAnalytical(t *testing.T) {
+	t.Parallel()
+	cells, err := Sweep(SweepConfig{
+		TapeCount:    2,
+		Objects:      128,
+		RatesPerHour: []float64{120},
+		DriveCounts:  []int{1, 2},
+		BatchLimits:  []int{8},
+		Requests:     60,
+		Seed:         5,
+		Analytical:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	for _, c := range cells {
+		if c.Metrics.Served != 60 {
+			t.Errorf("cell drives=%d served %d of 60", c.Drives, c.Metrics.Served)
+		}
+		if c.Metrics.MeanLatency <= 0 {
+			t.Errorf("cell drives=%d has non-positive mean latency", c.Drives)
+		}
+	}
+}
