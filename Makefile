@@ -85,6 +85,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzExecutorReplan$$' -fuzztime $(FUZZTIME) ./internal/sim/
 	$(GO) test -run '^$$' -fuzz '^FuzzAdmissionQueue$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzLibraryBatcher$$' -fuzztime $(FUZZTIME) ./internal/tertiary/
+	$(GO) test -run '^$$' -fuzz '^FuzzLibraryRescue$$' -fuzztime $(FUZZTIME) ./internal/tertiary/
 	$(GO) test -run '^$$' -fuzz '^FuzzEventHeap$$' -fuzztime $(FUZZTIME) ./internal/tertiary/
 	$(GO) test -run '^$$' -fuzz '^FuzzSpanStore$$' -fuzztime $(FUZZTIME) ./internal/obs/
 
@@ -101,6 +102,7 @@ results:
 	$(GO) run ./cmd/chaos > results/chaos.txt
 	$(GO) run ./cmd/serve > results/online.txt
 	$(GO) run ./cmd/library > results/library.txt
+	$(GO) run ./cmd/outage > results/availability.txt
 	$(GO) run ./cmd/trace
 
 clean:

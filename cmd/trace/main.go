@@ -4,9 +4,9 @@
 //   - a Chrome trace-event export of every cell's span hierarchy
 //     (load into chrome://tracing or https://ui.perfetto.dev), one
 //     process per cell, one lane per drive, and
-//   - the per-request latency attribution tables, whose six phase
-//     columns — queue, robot, mount, locate, transfer, retry — sum
-//     back to each request's sojourn within 1e-9 s.
+//   - the per-request latency attribution tables, whose seven phase
+//     columns — queue, robot, mount, locate, transfer, retry,
+//     rescue — sum back to each request's sojourn within 1e-9 s.
 //
 // Both files are byte-identical at any -workers value: every cell
 // records into its own tracer and the cells are assembled in spec

@@ -25,11 +25,22 @@
 //
 // Determinism is load-bearing: chaos experiments must reproduce
 // exactly — same seed and rates imply the same faults — regardless of
-// how many worker goroutines run other cells of the sweep. Transient,
-// overshoot and lost-position faults are drawn from a private rand48
-// stream consumed one draw per drive operation; media errors are a
-// pure function of (seed, segment), so the set of bad segments does
-// not depend on the order in which segments are visited.
+// how many worker goroutines run other cells of the sweep. The
+// draw-stream alignment rule every generator here follows: a failure
+// source either consumes exactly one variate per operation from a
+// private stream owned by one component (so streams never interleave
+// across components), or it is a pure function of the seed and stable
+// coordinates (so it does not depend on visit order at all).
+// Transient, overshoot and lost-position faults are drawn from a
+// private rand48 stream consumed one draw per drive operation; media
+// errors and bad-spot regions are pure functions of (seed, segment)
+// and (seed, serial), so the set of bad segments does not depend on
+// the order in which segments are visited.
+//
+// A second tier above these per-operation faults — whole components
+// failing and recovering: drives dying mid-batch, the robot stalling,
+// cartridges lost outright — lives in LifecycleConfig and Lifecycle
+// (lifecycle.go), under the same alignment rule.
 package fault
 
 import (
@@ -86,13 +97,22 @@ type Config struct {
 	// MediaRate is the fraction of segments that are permanently
 	// unreadable. Membership is a pure function of (Seed, segment).
 	MediaRate float64
+	// BadSpotStart and BadSpotLen describe one contiguous permanently
+	// unreadable region — every segment in [BadSpotStart,
+	// BadSpotStart+BadSpotLen) fails like a MediaRate segment. The
+	// lifecycle layer computes the region per cartridge
+	// (Lifecycle.BadSpot) and arms the mounted drive's injector with
+	// it; BadSpotLen 0 (the default) means no region.
+	BadSpotStart int
+	BadSpotLen   int
 	// Seed seeds the draw stream and the media-error hash.
 	Seed int64
 }
 
 // Enabled reports whether any class can fire.
 func (c Config) Enabled() bool {
-	return c.TransientRate > 0 || c.OvershootRate > 0 || c.LostRate > 0 || c.MediaRate > 0
+	return c.TransientRate > 0 || c.OvershootRate > 0 || c.LostRate > 0 ||
+		c.MediaRate > 0 || c.BadSpotLen > 0
 }
 
 // Scale returns the config with every rate multiplied by f (clamped
@@ -133,6 +153,10 @@ func (c Config) Validate() error {
 	if c.OvershootRate+c.LostRate > 1 {
 		return fmt.Errorf("fault: OvershootRate+LostRate %v exceed 1",
 			c.OvershootRate+c.LostRate)
+	}
+	if c.BadSpotStart < 0 || c.BadSpotLen < 0 {
+		return fmt.Errorf("fault: bad-spot region [%d,+%d) has negative bounds",
+			c.BadSpotStart, c.BadSpotLen)
 	}
 	return nil
 }
@@ -205,11 +229,18 @@ func (in *Injector) OvershootSegments() int {
 	return 64 + in.rng.Intn(512)
 }
 
-// MediaBad reports whether segment lbn is permanently unreadable. It
-// is a pure function of (Seed, lbn): stable across retries, visit
-// order and runs, so a failed segment stays failed.
+// MediaBad reports whether segment lbn is permanently unreadable —
+// either inside the configured bad-spot region or hash-selected at
+// MediaRate. It is a pure function of (Seed, lbn): stable across
+// retries, visit order and runs, so a failed segment stays failed.
 func (in *Injector) MediaBad(lbn int) bool {
-	if in == nil || in.cfg.MediaRate <= 0 {
+	if in == nil {
+		return false
+	}
+	if in.cfg.BadSpotLen > 0 && lbn >= in.cfg.BadSpotStart && lbn < in.cfg.BadSpotStart+in.cfg.BadSpotLen {
+		return true
+	}
+	if in.cfg.MediaRate <= 0 {
 		return false
 	}
 	h := uint64(in.cfg.Seed)*0x9E3779B97F4A7C15 + uint64(lbn)*0xBF58476D1CE4E5B9

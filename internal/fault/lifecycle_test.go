@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLifecycleValidate is the table-driven gate over the lifecycle
+// rates: negatives, NaN, infinities and an enabled failure process
+// without a repair time are all rejected.
+func TestLifecycleValidate(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		cfg  LifecycleConfig
+		ok   bool
+	}{
+		{"zero value", LifecycleConfig{}, true},
+		{"full mix", LifecycleConfig{DriveMTTFSec: 3600, DriveMTTRSec: 600, RobotStallRate: 0.1, RobotStallSec: 60, CartridgeLossRate: 0.01, BadSpotRate: 0.2, BadSpotSegments: 32}, true},
+		{"mttf without mttr", LifecycleConfig{DriveMTTFSec: 3600}, false},
+		{"mttr alone is fine", LifecycleConfig{DriveMTTRSec: 600}, true},
+		{"negative mttf", LifecycleConfig{DriveMTTFSec: -1, DriveMTTRSec: 1}, false},
+		{"negative mttr", LifecycleConfig{DriveMTTFSec: 1, DriveMTTRSec: -1}, false},
+		{"nan mttf", LifecycleConfig{DriveMTTFSec: nan, DriveMTTRSec: 1}, false},
+		{"nan mttr", LifecycleConfig{DriveMTTFSec: 1, DriveMTTRSec: nan}, false},
+		{"inf mttf", LifecycleConfig{DriveMTTFSec: inf, DriveMTTRSec: 1}, false},
+		{"stall rate above one", LifecycleConfig{RobotStallRate: 1.5}, false},
+		{"stall rate negative", LifecycleConfig{RobotStallRate: -0.1}, false},
+		{"stall rate nan", LifecycleConfig{RobotStallRate: nan}, false},
+		{"stall duration negative", LifecycleConfig{RobotStallRate: 0.1, RobotStallSec: -5}, false},
+		{"stall duration nan", LifecycleConfig{RobotStallRate: 0.1, RobotStallSec: nan}, false},
+		{"loss rate above one", LifecycleConfig{CartridgeLossRate: 2}, false},
+		{"loss rate nan", LifecycleConfig{CartridgeLossRate: nan}, false},
+		{"bad spot rate negative", LifecycleConfig{BadSpotRate: -0.5}, false},
+		{"bad spot rate nan", LifecycleConfig{BadSpotRate: nan}, false},
+		{"bad spot length negative", LifecycleConfig{BadSpotRate: 0.5, BadSpotSegments: -8}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.cfg.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("Validate(%+v) = %v, want nil", c.cfg, err)
+			}
+			if !c.ok && err == nil {
+				t.Fatalf("Validate(%+v) = nil, want error", c.cfg)
+			}
+		})
+	}
+}
+
+// TestConfigValidateBadSpot covers the per-operation config's new
+// bad-spot region bounds.
+func TestConfigValidateBadSpot(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"region ok", Config{BadSpotStart: 100, BadSpotLen: 64}, true},
+		{"negative start", Config{BadSpotStart: -1, BadSpotLen: 64}, false},
+		{"negative length", Config{BadSpotLen: -64}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.cfg.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("Validate = %v, want nil", err)
+			}
+			if !c.ok && err == nil {
+				t.Fatal("Validate = nil, want error")
+			}
+		})
+	}
+}
+
+// TestLifecycleZeroDrawsNothing pins the zero-rate config to complete
+// inertness: no outages, no stalls, no losses, no bad spots, and the
+// Enabled gate is off so callers can skip the layer entirely.
+func TestLifecycleZeroDrawsNothing(t *testing.T) {
+	var cfg LifecycleConfig
+	if cfg.Enabled() {
+		t.Fatal("zero config reports Enabled")
+	}
+	lc := NewLifecycle(cfg)
+	if _, _, ok := lc.NextOutage(0); ok {
+		t.Fatal("zero config drew an outage")
+	}
+	for i := 0; i < 100; i++ {
+		if s := lc.RobotStall(i); s != 0 {
+			t.Fatalf("zero config stalled exchange %d for %g s", i, s)
+		}
+		if lc.CartridgeLost(int64(i), i%4) {
+			t.Fatalf("zero config lost cartridge %d", i)
+		}
+		if _, _, ok := lc.BadSpot(int64(i), 4096); ok {
+			t.Fatalf("zero config put a bad spot on cartridge %d", i)
+		}
+	}
+	var nilLC *Lifecycle
+	if _, _, ok := nilLC.NextOutage(0); ok {
+		t.Fatal("nil lifecycle drew an outage")
+	}
+	if nilLC.RobotStall(0) != 0 || nilLC.CartridgeLost(1, 0) {
+		t.Fatal("nil lifecycle fired")
+	}
+}
+
+// TestLifecycleDeterminism: two generators with the same config
+// produce identical outage schedules per drive, and the pure-function
+// classes are stable across generator instances and call orders.
+func TestLifecycleDeterminism(t *testing.T) {
+	cfg := LifecycleConfig{
+		DriveMTTFSec: 7200, DriveMTTRSec: 900,
+		RobotStallRate: 0.3, CartridgeLossRate: 0.2, BadSpotRate: 0.5,
+		Seed: 42,
+	}
+	a, b := NewLifecycle(cfg), NewLifecycle(cfg)
+	// Interleave drive queries differently on b: per-drive streams
+	// must make the schedules identical anyway.
+	type outage struct{ gap, repair float64 }
+	seqA := make(map[int][]outage)
+	for d := 0; d < 3; d++ {
+		for i := 0; i < 5; i++ {
+			g, r, ok := a.NextOutage(d)
+			if !ok {
+				t.Fatal("outage draw failed")
+			}
+			seqA[d] = append(seqA[d], outage{g, r})
+		}
+	}
+	for i := 0; i < 5; i++ {
+		for d := 2; d >= 0; d-- {
+			g, r, ok := b.NextOutage(d)
+			if !ok {
+				t.Fatal("outage draw failed")
+			}
+			want := seqA[d][i]
+			if g != want.gap || r != want.repair {
+				t.Fatalf("drive %d outage %d: (%g,%g) != (%g,%g)", d, i, g, r, want.gap, want.repair)
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if a.RobotStall(i) != b.RobotStall(i) {
+			t.Fatalf("stall %d differs across instances", i)
+		}
+		if a.CartridgeLost(int64(i), 1) != b.CartridgeLost(int64(i), 1) {
+			t.Fatalf("loss %d differs across instances", i)
+		}
+		s1, n1, ok1 := a.BadSpot(int64(i), 8192)
+		s2, n2, ok2 := b.BadSpot(int64(i), 8192)
+		if s1 != s2 || n1 != n2 || ok1 != ok2 {
+			t.Fatalf("bad spot %d differs across instances", i)
+		}
+	}
+}
+
+// TestLifecycleOutageMeans sanity-checks the exponential draws: over
+// many outages the empirical means land near MTTF and MTTR, and every
+// draw is positive.
+func TestLifecycleOutageMeans(t *testing.T) {
+	cfg := LifecycleConfig{DriveMTTFSec: 4000, DriveMTTRSec: 500, Seed: 7}
+	lc := NewLifecycle(cfg)
+	const n = 20000
+	var gapSum, repSum float64
+	for i := 0; i < n; i++ {
+		g, r, ok := lc.NextOutage(0)
+		if !ok || g <= 0 || r <= 0 {
+			t.Fatalf("draw %d: gap %g repair %g ok %v", i, g, r, ok)
+		}
+		gapSum += g
+		repSum += r
+	}
+	if m := gapSum / n; math.Abs(m-cfg.DriveMTTFSec) > 0.05*cfg.DriveMTTFSec {
+		t.Fatalf("mean gap %g, want ~%g", m, cfg.DriveMTTFSec)
+	}
+	if m := repSum / n; math.Abs(m-cfg.DriveMTTRSec) > 0.05*cfg.DriveMTTRSec {
+		t.Fatalf("mean repair %g, want ~%g", m, cfg.DriveMTTRSec)
+	}
+}
+
+// TestLifecycleBadSpotBounds: the region always fits on the tape and
+// the occurrence rate tracks BadSpotRate.
+func TestLifecycleBadSpotBounds(t *testing.T) {
+	lc := NewLifecycle(LifecycleConfig{BadSpotRate: 0.5, BadSpotSegments: 64, Seed: 3})
+	hits := 0
+	const tapes = 4000
+	for serial := int64(0); serial < tapes; serial++ {
+		start, n, ok := lc.BadSpot(serial, 1000)
+		if !ok {
+			continue
+		}
+		hits++
+		if n != 64 || start < 0 || start+n > 1000 {
+			t.Fatalf("serial %d: region [%d,+%d) out of bounds", serial, start, n)
+		}
+	}
+	if frac := float64(hits) / tapes; math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("bad-spot fraction %g, want ~0.5", frac)
+	}
+	// A region longer than the tape is clamped to the whole tape.
+	big := NewLifecycle(LifecycleConfig{BadSpotRate: 1, BadSpotSegments: 5000, Seed: 3})
+	start, n, ok := big.BadSpot(1, 100)
+	if !ok || start != 0 || n != 100 {
+		t.Fatalf("clamped region = [%d,+%d) ok %v, want [0,+100) true", start, n, ok)
+	}
+}
+
+// TestInjectorBadSpotRegion: an injector armed with only a region
+// fails exactly the region's segments, and Enabled reflects it.
+func TestInjectorBadSpotRegion(t *testing.T) {
+	cfg := Config{BadSpotStart: 200, BadSpotLen: 16, Seed: 9}
+	if !cfg.Enabled() {
+		t.Fatal("region-only config reports disabled")
+	}
+	in := New(cfg)
+	for lbn := 0; lbn < 400; lbn++ {
+		want := lbn >= 200 && lbn < 216
+		if got := in.MediaBad(lbn); got != want {
+			t.Fatalf("MediaBad(%d) = %v, want %v", lbn, got, want)
+		}
+	}
+}

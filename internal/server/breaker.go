@@ -1,0 +1,112 @@
+package server
+
+import "fmt"
+
+// BreakerState is the admission circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed is normal service: every drive is live, all
+	// traffic is admitted up to the queue capacity.
+	BreakerClosed BreakerState = iota
+	// BreakerBrownout is degraded service: some drives are down.
+	// Best-effort arrivals are shed immediately and the effective
+	// queue capacity shrinks to the live fraction of the configured
+	// capacity, so the backlog a crippled drive pool can actually
+	// drain is the only backlog allowed to build.
+	BreakerBrownout
+	// BreakerOpen is no service: every drive is down. All arrivals
+	// are shed until a repair brings capacity back.
+	BreakerOpen
+)
+
+// String names the state for tables and metric labels.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerBrownout:
+		return "brownout"
+	case BreakerOpen:
+		return "open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// Breaker is the brownout admission controller: it learns the
+// service's effective capacity — live drives over configured drives —
+// and turns it into an admission decision per arrival. It is a pure
+// state machine on the virtual clock (no wall time, no randomness):
+// the serving layer reports drive deaths and repairs via SetLive, and
+// admission consults State, Admits and EffectiveCap. Re-admission on
+// repair is automatic — SetLive back to the configured count closes
+// the breaker and the next arrival is admitted normally.
+//
+// Like the rest of the serving layer it belongs to one goroutine.
+type Breaker struct {
+	configured int
+	live       int
+}
+
+// NewBreaker returns a closed breaker for a pool of the given size;
+// sizes below 1 select 1.
+func NewBreaker(configured int) *Breaker {
+	if configured < 1 {
+		configured = 1
+	}
+	return &Breaker{configured: configured, live: configured}
+}
+
+// SetLive reports the current number of live drives, clamped to
+// [0, configured].
+func (b *Breaker) SetLive(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > b.configured {
+		n = b.configured
+	}
+	b.live = n
+}
+
+// Live returns the last reported live-drive count.
+func (b *Breaker) Live() int { return b.live }
+
+// State derives the breaker position from the live fraction.
+func (b *Breaker) State() BreakerState {
+	switch {
+	case b.live == 0:
+		return BreakerOpen
+	case b.live < b.configured:
+		return BreakerBrownout
+	}
+	return BreakerClosed
+}
+
+// Admits reports whether an arrival of the given class passes the
+// breaker: everything when closed, only non-best-effort traffic in
+// brownout, nothing when open.
+func (b *Breaker) Admits(bestEffort bool) bool {
+	switch b.State() {
+	case BreakerOpen:
+		return false
+	case BreakerBrownout:
+		return !bestEffort
+	}
+	return true
+}
+
+// EffectiveCap scales a configured queue capacity by the live
+// fraction, rounding up, never below 1 while any drive lives: with
+// half the pool down, admitting a full queue only builds sojourn the
+// surviving drives cannot serve.
+func (b *Breaker) EffectiveCap(cap int) int {
+	if b.live >= b.configured || cap <= 0 {
+		return cap
+	}
+	scaled := (cap*b.live + b.configured - 1) / b.configured
+	if scaled < 1 {
+		scaled = 1
+	}
+	return scaled
+}

@@ -1,0 +1,90 @@
+package server
+
+import "testing"
+
+func TestBreakerStates(t *testing.T) {
+	b := NewBreaker(4)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("fresh breaker state %v, want closed", got)
+	}
+	if !b.Admits(true) || !b.Admits(false) {
+		t.Fatal("closed breaker rejected traffic")
+	}
+	if got := b.EffectiveCap(100); got != 100 {
+		t.Fatalf("closed EffectiveCap(100) = %d", got)
+	}
+
+	b.SetLive(2)
+	if got := b.State(); got != BreakerBrownout {
+		t.Fatalf("state at 2/4 live %v, want brownout", got)
+	}
+	if b.Admits(true) {
+		t.Fatal("brownout admitted best-effort work")
+	}
+	if !b.Admits(false) {
+		t.Fatal("brownout shed non-best-effort work")
+	}
+	if got := b.EffectiveCap(100); got != 50 {
+		t.Fatalf("brownout EffectiveCap(100) = %d, want 50", got)
+	}
+	if got := b.EffectiveCap(0); got != 0 {
+		t.Fatalf("unbounded cap scaled to %d, want 0 (still unbounded)", got)
+	}
+
+	b.SetLive(0)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state at 0/4 live %v, want open", got)
+	}
+	if b.Admits(false) {
+		t.Fatal("open breaker admitted work")
+	}
+
+	// Repair re-admits automatically.
+	b.SetLive(4)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after repair %v, want closed", got)
+	}
+	if !b.Admits(true) {
+		t.Fatal("repaired breaker still shedding")
+	}
+}
+
+func TestBreakerClamps(t *testing.T) {
+	b := NewBreaker(0) // below 1 selects 1
+	if b.Live() != 1 {
+		t.Fatalf("live %d, want 1", b.Live())
+	}
+	b.SetLive(-3)
+	if b.Live() != 0 || b.State() != BreakerOpen {
+		t.Fatalf("negative SetLive: live %d state %v", b.Live(), b.State())
+	}
+	b.SetLive(99)
+	if b.Live() != 1 || b.State() != BreakerClosed {
+		t.Fatalf("oversized SetLive: live %d state %v", b.Live(), b.State())
+	}
+}
+
+func TestBreakerEffectiveCapRounding(t *testing.T) {
+	b := NewBreaker(3)
+	b.SetLive(1)
+	// ceil(10 * 1/3) = 4; never below 1 while a drive lives.
+	if got := b.EffectiveCap(10); got != 4 {
+		t.Fatalf("EffectiveCap(10) at 1/3 = %d, want 4", got)
+	}
+	if got := b.EffectiveCap(1); got != 1 {
+		t.Fatalf("EffectiveCap(1) at 1/3 = %d, want 1", got)
+	}
+}
+
+func TestRequestExpired(t *testing.T) {
+	r := Request{Deadline: 100}
+	if r.Expired(99) || r.Expired(100) {
+		t.Fatal("request expired before its deadline")
+	}
+	if !r.Expired(100.5) {
+		t.Fatal("request not expired past its deadline")
+	}
+	if (Request{}).Expired(1e12) {
+		t.Fatal("zero deadline expired")
+	}
+}

@@ -74,6 +74,15 @@ type Config struct {
 	MaxBatch int
 	// ReadLen is the per-request transfer length; 0 means 1.
 	ReadLen int
+	// DeadlineSec enables per-request deadline enforcement: arrivals
+	// without an explicit Request.Deadline get ArrivalSec +
+	// DeadlineSec, and a request still queued past its deadline is
+	// shed at batch-cut time instead of dispatched. 0 (the default)
+	// disables enforcement for requests without explicit deadlines —
+	// existing configurations behave exactly as before. The
+	// recommended budget is sim.DefaultRequestTimeoutSec, the same
+	// constant bounding the executor's per-request drive time.
+	DeadlineSec float64
 	// Retry bounds the executor's recovery.
 	Retry sim.RetryPolicy
 	// Faults arms the drive with an injector when any rate is
@@ -102,10 +111,11 @@ type Result struct {
 	Alg    string
 	Policy BatchPolicy
 
-	// Served, Failed and Rejected partition the stream: completed
-	// retrievals, permanent drive-level failures, and admissions
-	// turned away at a full queue.
-	Served, Failed, Rejected int
+	// Served, Failed, Rejected and Shed partition the stream:
+	// completed retrievals, permanent drive-level failures,
+	// admissions turned away at a full queue, and queued requests
+	// dropped because their deadline passed before dispatch.
+	Served, Failed, Rejected, Shed int
 
 	// Sojourn accumulates completion − arrival per served request;
 	// SojournTimes retains the samples for percentiles.
@@ -195,6 +205,7 @@ type state struct {
 	cRejected *obs.Counter
 	cServed   *obs.Counter
 	cFailed   *obs.Counter
+	cShed     *obs.Counter
 	hSojourn  *obs.Histogram
 	hService  *obs.Histogram
 	hBatchSec *obs.Histogram
@@ -242,6 +253,9 @@ func (s *state) admit(until float64) int {
 	for s.next < len(s.arrivals) && s.arrivals[s.next].ArrivalSec <= until {
 		r := s.arrivals[s.next]
 		s.next++
+		if r.Deadline == 0 && s.cfg.DeadlineSec > 0 {
+			r.Deadline = r.ArrivalSec + s.cfg.DeadlineSec
+		}
 		if s.queue.Offer(r) {
 			n++
 		} else {
@@ -418,6 +432,9 @@ func (s *state) run() error {
 		}
 		batch := s.queue.PopNAppend(s.batchBuf[:0], s.cfg.MaxBatch)
 		s.batchBuf = batch
+		if batch = s.shedExpired(batch, s.now()); len(batch) == 0 {
+			continue
+		}
 		var err error
 		if s.cfg.Policy == ReplanOnArrival {
 			err = s.serveIncremental(batch)
@@ -433,6 +450,9 @@ func (s *state) run() error {
 	s.res.IdleSec = s.idle
 	s.res.FinalHead = s.drv.Position()
 	s.res.MaxQueueDepth = s.queue.MaxDepth()
+	if s.res.Shed > 0 {
+		s.root.AttrInt("shed", s.res.Shed)
+	}
 	s.root.AttrInt("served", s.res.Served).AttrInt("failed", s.res.Failed).
 		AttrInt("rejected", s.res.Rejected).End(s.res.MakespanSec)
 	s.gauge("queue_depth_max").Max(float64(s.queue.MaxDepth()))
@@ -517,6 +537,7 @@ func (s *state) serveIncremental(batch []Request) error {
 		if s.admit(s.now()) > 0 {
 			fresh := s.queue.PopNAppend(s.freshBuf[:0], 0)
 			s.freshBuf = fresh
+			fresh = s.shedExpired(fresh, s.now())
 			merged = len(fresh)
 			size += merged
 			pending = append(pending, fresh...)
@@ -555,6 +576,26 @@ func (s *state) recordCut(size int, elapsed float64) {
 	}
 	s.hBatchSec.Observe(elapsed)
 	s.hBatchSz.Observe(float64(size))
+}
+
+// shedExpired drops the requests whose deadline passed before now,
+// compacting in place and counting each drop. With no deadlines in
+// play (the default) nothing matches, no series is created, and the
+// run is byte-identical to one without deadline support.
+func (s *state) shedExpired(batch []Request, now float64) []Request {
+	kept := batch[:0]
+	for _, r := range batch {
+		if r.Expired(now) {
+			s.res.Shed++
+			if s.cShed == nil {
+				s.cShed = s.counter("shed_total")
+			}
+			s.cShed.Inc()
+			continue
+		}
+		kept = append(kept, r)
+	}
+	return kept
 }
 
 // planOrder schedules the pending requests from the current head.

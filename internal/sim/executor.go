@@ -11,6 +11,16 @@ import (
 	"serpentine/internal/obs"
 )
 
+// DefaultRequestTimeoutSec is the default drive-time budget one
+// request may consume before the executor gives up on it — and, by
+// design, the default per-request Deadline the serving layers apply
+// when deadlines are enabled without an explicit value
+// (server.Config.DeadlineSec, tertiary.Config.DeadlineSec). Sharing
+// one named constant keeps the two timeout paths from silently
+// diverging: a request the executor would abandon is also one the
+// admission layer considers expired.
+const DefaultRequestTimeoutSec = 900.0
+
 // RetryPolicy bounds the executor's recovery behaviour. The zero
 // value selects the defaults noted per field.
 type RetryPolicy struct {
@@ -26,7 +36,8 @@ type RetryPolicy struct {
 	BackoffMaxSec float64
 	// RequestTimeoutSec is the drive-time budget one request may
 	// consume (attempts plus backoff) before the executor abandons
-	// the in-place retry loop and replans; 0 selects 900.
+	// the in-place retry loop and replans; 0 selects
+	// DefaultRequestTimeoutSec.
 	RequestTimeoutSec float64
 	// MaxReplans bounds replanning per executed plan; when exhausted,
 	// further unrecoverable requests are failed instead of replanned;
@@ -57,7 +68,7 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 		p.BackoffMaxSec = 30
 	}
 	if p.RequestTimeoutSec <= 0 {
-		p.RequestTimeoutSec = 900
+		p.RequestTimeoutSec = DefaultRequestTimeoutSec
 	}
 	if p.MaxReplans <= 0 {
 		p.MaxReplans = 16
@@ -84,8 +95,12 @@ type ExecResult struct {
 	// order (the plan order, re-shuffled by any replans).
 	Served []int
 	// Failed lists the segments abandoned permanently (media errors,
-	// retry exhaustion past the replan budget).
-	Failed []int
+	// retry exhaustion past the replan budget). FailedAt holds, index
+	// aligned, the drive-time offset from the start of the execution
+	// at which each abandonment was decided — the library's rescue
+	// layer uses it to place a failure before or after a drive death.
+	Failed   []int
+	FailedAt []float64
 	// Retries counts failed attempts that were retried in place
 	// (transient reads, overshoot re-locates).
 	Retries int
@@ -279,6 +294,7 @@ func (ex *Executor) Execute(p *core.Problem, plan core.Plan) (ExecResult, error)
 			remaining = remaining[1:]
 		case vFailed:
 			res.Failed = append(res.Failed, seg)
+			res.FailedAt = append(res.FailedAt, ex.Drive.Clock()-start)
 			remaining = remaining[1:]
 		case vReplan:
 			reason := "retry-exhausted"
@@ -296,6 +312,7 @@ func (ex *Executor) Execute(p *core.Problem, plan core.Plan) (ExecResult, error)
 			strikes[seg]++
 			if strikes[seg] >= 2 || res.Replans >= ex.pol.MaxReplans {
 				res.Failed = append(res.Failed, seg)
+				res.FailedAt = append(res.FailedAt, ex.Drive.Clock()-start)
 				remaining = remaining[1:]
 				continue
 			}

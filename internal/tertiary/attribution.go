@@ -30,11 +30,17 @@ type Attribution struct {
 	// RetrySec is fault recovery inside the request's final serve
 	// loop: failed attempts and backoff waits.
 	RetrySec float64
+	// RescueSec is virtual time lost to aborted serve attempts before
+	// the final one: sitting in a batch cut short by a drive death
+	// until the drive died, or in a read that hit a permanent media
+	// defect until the failure redirected it to a replica. 0 on a
+	// fault-free run.
+	RescueSec float64
 }
 
 // Sum returns the total of the components — the reconstructed sojourn.
 func (a Attribution) Sum() float64 {
-	return a.QueueSec + a.RobotSec + a.MountSec + a.LocateSec + a.TransferSec + a.RetrySec
+	return a.QueueSec + a.RobotSec + a.MountSec + a.LocateSec + a.TransferSec + a.RetrySec + a.RescueSec
 }
 
 // AttributionError is the conservation defect: how far the attribution
@@ -44,14 +50,14 @@ func (c Completion) AttributionError() float64 {
 }
 
 // WriteAttribution renders the per-request latency attribution table:
-// one row per completion in the given order, the six phase columns,
+// one row per completion in the given order, the seven phase columns,
 // and a trailer with the worst conservation error. All values are
 // virtual seconds with fixed six-decimal formatting, so the table is
 // byte-deterministic for a deterministic run.
 func WriteAttribution(w io.Writer, comps []Completion) error {
-	if _, err := fmt.Fprintf(w, "%-12s %5s %12s %12s %12s %10s %10s %10s %10s %10s %10s\n",
+	if _, err := fmt.Fprintf(w, "%-12s %5s %12s %12s %12s %10s %10s %10s %10s %10s %10s %10s\n",
 		"object", "drive", "arrival", "done", "sojourn",
-		"queue", "robot", "mount", "locate", "transfer", "retry"); err != nil {
+		"queue", "robot", "mount", "locate", "transfer", "retry", "rescue"); err != nil {
 		return err
 	}
 	maxErr := 0.0
@@ -60,9 +66,9 @@ func WriteAttribution(w io.Writer, comps []Completion) error {
 		if e := c.AttributionError(); e > maxErr {
 			maxErr = e
 		}
-		if _, err := fmt.Fprintf(w, "%-12s %5d %12.3f %12.3f %12.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+		if _, err := fmt.Fprintf(w, "%-12s %5d %12.3f %12.3f %12.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
 			c.ObjectID, c.DriveID, c.Arrival, c.Done, c.Latency(),
-			a.QueueSec, a.RobotSec, a.MountSec, a.LocateSec, a.TransferSec, a.RetrySec); err != nil {
+			a.QueueSec, a.RobotSec, a.MountSec, a.LocateSec, a.TransferSec, a.RetrySec, a.RescueSec); err != nil {
 			return err
 		}
 	}

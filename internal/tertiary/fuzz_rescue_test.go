@@ -1,0 +1,136 @@
+package tertiary
+
+import (
+	"fmt"
+	"testing"
+
+	"serpentine/internal/fault"
+	"serpentine/internal/geometry"
+)
+
+// FuzzLibraryRescue drives the library event loop through arbitrary
+// request streams while component-lifecycle faults — drive deaths,
+// robot stalls, cartridge loss, bad spots — fire at fuzzed rates, with
+// and without replica placement, and checks the failure-domain
+// invariants: the offered stream partitions exactly into
+// served/failed/rejected/shed, the robot ledger balances including
+// lost-cartridge trips, attribution still telescopes to the sojourn
+// with rescue time included, and drive outages alone never fail a
+// request.
+func FuzzLibraryRescue(f *testing.F) {
+	f.Add([]byte{0x00, 0x81, 0x12, 0xa3, 0x34, 0xc5}, byte(1), byte(0), byte(0), byte(7), false)
+	f.Add([]byte{0x01, 0x01, 0x01, 0x01}, byte(3), byte(4), byte(0), byte(1), true)
+	f.Add([]byte{0xff, 0x00, 0x7f, 0x80, 0x3c}, byte(0), byte(8), byte(0xf1), byte(74), true)
+	f.Add([]byte{0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x80}, byte(0x1f), byte(2), byte(0x13), byte(5), false)
+
+	profile := geometry.Tiny()
+	serials := []int64{101, 102}
+	cfg := Config{Profile: profile, Tapes: serials, Drives: 2}
+	cat := NewCatalog()
+	pl := NewPlacement()
+	const perTape = 8
+	for ti, serial := range serials {
+		tape := geometry.MustGenerate(profile, serial)
+		stride := tape.Segments() / perTape
+		for i := 0; i < perTape; i++ {
+			segs := 1
+			if i%3 == 0 {
+				segs = 4
+			}
+			id := fmt.Sprintf("t%d/o%d", serial, i)
+			if err := cat.Put(Object{ID: id, Tape: serial, Start: i * stride, Segments: segs}); err != nil {
+				f.Fatal(err)
+			}
+			other := serials[(ti+1)%len(serials)]
+			if err := pl.Put(id, Object{Tape: other, Start: i*stride + stride/2, Segments: segs}); err != nil {
+				f.Fatal(err)
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, mttf, loss, spot, seed byte, withReplicas bool) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		var (
+			reqs    []Request
+			arrival float64
+		)
+		for _, b := range data {
+			arrival += float64(b>>4) * 20
+			reqs = append(reqs, Request{
+				ObjectID: fmt.Sprintf("t%d/o%d", serials[b&1], int(b>>1)%perTape),
+				Arrival:  arrival,
+			})
+		}
+
+		c := cfg
+		c.Lifecycle = fault.LifecycleConfig{
+			DriveMTTFSec:      float64(mttf&7) * 600,
+			DriveMTTRSec:      300 + float64(mttf>>3)*100,
+			CartridgeLossRate: float64(loss&15) / 32,
+			BadSpotRate:       float64(spot&15) / 16,
+			RobotStallRate:    float64(spot>>4) / 16,
+			Seed:              int64(seed),
+		}
+		if c.Lifecycle.DriveMTTFSec == 0 {
+			c.Lifecycle.DriveMTTRSec = 0
+		}
+		if withReplicas {
+			c.Placement = pl
+		}
+		lib, err := New(c, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, m, err := lib.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if got := m.Served + m.Failed + m.Rejected + m.Shed; got != len(reqs) {
+			t.Fatalf("conservation broken: served %d + failed %d + rejected %d + shed %d != %d requests",
+				m.Served, m.Failed, m.Rejected, m.Shed, len(reqs))
+		}
+		if c.Lifecycle.CartridgeLossRate == 0 && c.Lifecycle.BadSpotRate == 0 && m.Failed != 0 {
+			t.Fatalf("drive outages and stalls alone failed %d requests", m.Failed)
+		}
+		if len(done) != m.Served {
+			t.Fatalf("%d completions for %d served", len(done), m.Served)
+		}
+		if m.RobotMoves != m.Mounts+m.Unmounts+m.LostCartridges {
+			t.Fatalf("robot ledger broken: moves %d != mounts %d + unmounts %d + lost %d",
+				m.RobotMoves, m.Mounts, m.Unmounts, m.LostCartridges)
+		}
+		if m.Unmounts > m.Mounts {
+			t.Fatalf("unmounts %d exceed mounts %d", m.Unmounts, m.Mounts)
+		}
+		if !withReplicas && m.ReplicaReads != 0 {
+			t.Fatalf("%d replica reads without a placement", m.ReplicaReads)
+		}
+		offered := make(map[Request]int)
+		for _, r := range reqs {
+			offered[r]++
+		}
+		var prev float64
+		for i, comp := range done {
+			if comp.Done < prev {
+				t.Fatalf("completions out of order at %d: %.3f after %.3f", i, comp.Done, prev)
+			}
+			prev = comp.Done
+			if comp.Done < comp.Arrival {
+				t.Fatalf("%s completed at %.3f before arriving at %.3f", comp.ObjectID, comp.Done, comp.Arrival)
+			}
+			if offered[comp.Request] == 0 {
+				t.Fatalf("%s@%.3f completed more often than requested", comp.ObjectID, comp.Arrival)
+			}
+			offered[comp.Request]--
+			if e := comp.AttributionError(); e > 1e-9 {
+				t.Fatalf("%s@%.3f attribution off by %g s", comp.ObjectID, comp.Arrival, e)
+			}
+			if comp.Attribution.RescueSec < 0 {
+				t.Fatalf("%s@%.3f negative rescue time %g", comp.ObjectID, comp.Arrival, comp.Attribution.RescueSec)
+			}
+		}
+	})
+}

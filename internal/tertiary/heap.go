@@ -1,21 +1,46 @@
 package tertiary
 
-// driveEvent is one drive-becomes-idle event on the virtual clock.
+// Event kinds on the shared heap. evIdle (the zero value, so every
+// pre-existing literal keeps its meaning) is the common case: a drive
+// finished its batch and is idle again. The lifecycle-fault paths add
+// two more: evFail marks a drive dying mid-batch — its cartridge must
+// be unloaded and the unfinished requests rescued — and evRequeue
+// returns rescued or replica-redirected requests to the backlog once
+// the robot has put the cartridge back (or the failed read has been
+// decided).
+const (
+	evIdle uint8 = iota
+	evFail
+	evRequeue
+)
+
+// driveEvent is one event on the virtual clock: a drive going idle,
+// a drive dying mid-batch, or a rescued batch re-entering the queue.
+// ref indexes the run's requeue payload table for evRequeue events.
 type driveEvent struct {
 	at    float64
 	drive int
+	kind  uint8
+	ref   int32
 }
 
-// eventLess is the heap order: virtual time, ties broken by drive id.
-// The order is a strict total order over the events a run produces
-// (one pending event per drive), so the pop sequence — and everything
-// downstream of it — is unique, independent of how the heap arranges
-// equal-priority siblings internally.
+// eventLess is the heap order: virtual time, ties broken by drive id,
+// then kind, then payload ref. The order is a strict total order over
+// the events a run produces (a drive has at most one idle-or-fail
+// event pending, and requeue refs are unique), so the pop sequence —
+// and everything downstream of it — is unique, independent of how the
+// heap arranges equal-priority siblings internally.
 func eventLess(a, b driveEvent) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.drive < b.drive
+	if a.drive != b.drive {
+		return a.drive < b.drive
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.ref < b.ref
 }
 
 // eventHeap is a hand-rolled binary min-heap over a flat slice. The

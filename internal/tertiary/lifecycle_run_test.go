@@ -1,0 +1,482 @@
+package tertiary
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"serpentine/internal/fault"
+	"serpentine/internal/geometry"
+	"serpentine/internal/obs"
+)
+
+// checkLifecycleInvariants asserts the conservation laws every
+// lifecycle-fault run must obey: the offered stream partitions into
+// served/failed/rejected/shed, the robot ledger balances (a failed
+// fetch of a lost cartridge is an arm move with no mount), and every
+// completion's attribution — now including rescue time — telescopes
+// back to its sojourn.
+func checkLifecycleInvariants(t *testing.T, offered int, done []Completion, m Metrics) {
+	t.Helper()
+	if got := m.Served + m.Failed + m.Rejected + m.Shed; got != offered {
+		t.Fatalf("conservation broken: served %d + failed %d + rejected %d + shed %d = %d != %d offered",
+			m.Served, m.Failed, m.Rejected, m.Shed, got, offered)
+	}
+	if len(done) != m.Served {
+		t.Fatalf("%d completions for %d served", len(done), m.Served)
+	}
+	if m.RobotMoves != m.Mounts+m.Unmounts+m.LostCartridges {
+		t.Fatalf("robot ledger broken: moves %d != mounts %d + unmounts %d + lost %d",
+			m.RobotMoves, m.Mounts, m.Unmounts, m.LostCartridges)
+	}
+	for _, c := range done {
+		if e := c.AttributionError(); e > 1e-9 {
+			t.Fatalf("%s@%.3f attribution off by %g s (sojourn %.6f, sum %.6f, rescue %.6f)",
+				c.ObjectID, c.Arrival, e, c.Latency(), c.Attribution.Sum(), c.Attribution.RescueSec)
+		}
+		if c.Attribution.RescueSec < 0 || c.Attribution.QueueSec < -1e-9 {
+			t.Fatalf("%s@%.3f negative attribution: queue %g rescue %g",
+				c.ObjectID, c.Arrival, c.Attribution.QueueSec, c.Attribution.RescueSec)
+		}
+	}
+}
+
+// lifecycleStream builds a steady request stream over the small
+// two-tape catalog.
+func lifecycleStream(n int, gapSec float64) []Request {
+	reqs := make([]Request, n)
+	serials := []int64{101, 102}
+	for i := range reqs {
+		reqs[i] = Request{
+			ObjectID: fmt.Sprintf("t%d/o%d", serials[i%2], i%4),
+			Arrival:  float64(i) * gapSec,
+		}
+	}
+	return reqs
+}
+
+// TestDriveRescue kills drives mid-batch with a short MTTF and checks
+// that every stranded request is rescued and eventually served: with
+// no cartridge loss and no media faults, nothing may fail.
+func TestDriveRescue(t *testing.T) {
+	cfg := smallCfg(2)
+	cfg.Lifecycle = fault.LifecycleConfig{
+		DriveMTTFSec: 1200,
+		DriveMTTRSec: 300,
+		Seed:         7,
+	}
+	cat := smallCatalog(t, cfg, 4)
+	lib, err := New(cfg, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := lifecycleStream(120, 45)
+	done, m, err := lib.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLifecycleInvariants(t, len(reqs), done, m)
+	if m.Failed != 0 {
+		t.Fatalf("drive outages alone failed %d requests", m.Failed)
+	}
+	if m.DriveFailures == 0 {
+		t.Fatal("short MTTF produced no drive failures — lifecycle not armed?")
+	}
+	if m.Rescued == 0 {
+		t.Fatal("drive deaths rescued no requests — truncation path never ran")
+	}
+	rescued := 0
+	for _, c := range done {
+		if c.Attribution.RescueSec > 0 {
+			rescued++
+		}
+	}
+	if rescued == 0 {
+		t.Fatal("no completion carries rescue time")
+	}
+}
+
+// TestLifecycleRunDeterminism pins the rescue machinery to be a pure
+// function of its configuration: two identical runs produce deeply
+// equal completions and metrics.
+func TestLifecycleRunDeterminism(t *testing.T) {
+	run := func() ([]Completion, Metrics) {
+		cfg := smallCfg(2)
+		cfg.Lifecycle = fault.LifecycleConfig{
+			DriveMTTFSec:      900,
+			DriveMTTRSec:      240,
+			RobotStallRate:    0.2,
+			CartridgeLossRate: 0.1,
+			BadSpotRate:       0.5,
+			Seed:              11,
+		}
+		pl := NewPlacement()
+		cat := NewCatalog()
+		serials := cfg.Tapes
+		for ti, serial := range serials {
+			tape := geometry.MustGenerate(cfg.Profile, serial)
+			stride := tape.Segments() / 4
+			for i := 0; i < 4; i++ {
+				id := fmt.Sprintf("t%d/o%d", serial, i)
+				if err := cat.Put(Object{ID: id, Tape: serial, Start: i * stride}); err != nil {
+					t.Fatal(err)
+				}
+				other := serials[(ti+1)%len(serials)]
+				if err := pl.Put(id, Object{Tape: other, Start: i*stride + stride/2}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		cfg.Placement = pl
+		lib, err := New(cfg, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, m, err := lib.Run(lifecycleStream(100, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return done, m
+	}
+	d1, m1 := run()
+	d2, m2 := run()
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("metrics differ between identical runs:\n%+v\n%+v", m1, m2)
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatal("completions differ between identical runs")
+	}
+	checkLifecycleInvariants(t, 100, d1, m1)
+}
+
+// TestReplicaFailover loses cartridges aggressively and checks the
+// k-of-n degradation: with a replica on the other tape, requests whose
+// primary cartridge is gone complete as remote-replica reads; without
+// one, the same configuration reports lost-cartridge failures.
+func TestReplicaFailover(t *testing.T) {
+	// Seed 74 at rate 0.05 is a probed asymmetric outcome: tape 101 is
+	// discovered destroyed at its very first mount attempt while tape
+	// 102 survives at least 30 mounts — so a replica on 102 rescues
+	// what R=1 must fail.
+	build := func(withReplicas bool) (*Library, int) {
+		cfg := smallCfg(2)
+		cfg.Lifecycle = fault.LifecycleConfig{
+			CartridgeLossRate: 0.05,
+			Seed:              74,
+		}
+		cat := NewCatalog()
+		pl := NewPlacement()
+		serials := cfg.Tapes
+		for ti, serial := range serials {
+			tape := geometry.MustGenerate(cfg.Profile, serial)
+			stride := tape.Segments() / 4
+			for i := 0; i < 4; i++ {
+				id := fmt.Sprintf("t%d/o%d", serial, i)
+				if err := cat.Put(Object{ID: id, Tape: serial, Start: i * stride}); err != nil {
+					t.Fatal(err)
+				}
+				other := serials[(ti+1)%len(serials)]
+				if err := pl.Put(id, Object{Tape: other, Start: i*stride + stride/2}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if withReplicas {
+			cfg.Placement = pl
+		}
+		lib, err := New(cfg, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lib, 4
+	}
+
+	reqs := lifecycleStream(60, 30)
+
+	noRep, _ := build(false)
+	_, m0, err := noRep.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.LostCartridges == 0 || m0.Failed == 0 {
+		t.Fatalf("R=1 lost %d cartridges, failed %d requests — loss path never ran",
+			m0.LostCartridges, m0.Failed)
+	}
+
+	rep, _ := build(true)
+	done, m1, err := rep.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLifecycleInvariants(t, len(reqs), done, m1)
+	if m1.Failed >= m0.Failed {
+		t.Fatalf("replicas did not reduce failures: %d with vs %d without", m1.Failed, m0.Failed)
+	}
+	if m1.ReplicaReads == 0 && m1.LostCartridges > 0 {
+		t.Fatal("cartridges lost but no replica reads recorded")
+	}
+	for _, c := range done {
+		if c.Object.Tape != 0 && c.Object.ID == "" {
+			t.Fatalf("completion for %s carries an unnamed replica object", c.ObjectID)
+		}
+	}
+}
+
+// TestBadSpotReplicaRedirect places one object deliberately inside
+// tape 101's permanently unreadable region (computed from the same
+// lifecycle hashes the run will use) with its replica in a clean part
+// of tape 102, and checks the read degrades to a replica read rather
+// than failing — while R=1 fails it.
+func TestBadSpotReplicaRedirect(t *testing.T) {
+	lcCfg := fault.LifecycleConfig{
+		BadSpotRate:     1,
+		BadSpotSegments: 64,
+		Seed:            5,
+	}
+	probe := fault.NewLifecycle(lcCfg)
+
+	build := func(withReplicas bool) *Library {
+		cfg := smallCfg(2)
+		cfg.Lifecycle = lcCfg
+		segs101 := geometry.MustGenerate(cfg.Profile, 101).Segments()
+		segs102 := geometry.MustGenerate(cfg.Profile, 102).Segments()
+		b101, n101, ok := probe.BadSpot(101, segs101)
+		if !ok {
+			t.Fatal("BadSpotRate 1 produced no region on tape 101")
+		}
+		b102, n102, ok := probe.BadSpot(102, segs102)
+		if !ok {
+			t.Fatal("BadSpotRate 1 produced no region on tape 102")
+		}
+		// cleanOn returns an extent of len segments on the tape that
+		// avoids [bad, bad+badLen).
+		cleanOn := func(segs, bad, badLen, length int) int {
+			if bad >= length {
+				return 0
+			}
+			start := bad + badLen
+			if start+length > segs {
+				t.Fatalf("no clean extent of %d segments on a %d-segment tape", length, segs)
+			}
+			return start
+		}
+		cat := NewCatalog()
+		pl := NewPlacement()
+		// The victim sits squarely in 101's bad region; its replica is
+		// clean on 102.
+		if err := cat.Put(Object{ID: "victim", Tape: 101, Start: b101, Segments: n101}); err != nil {
+			t.Fatal(err)
+		}
+		if err := pl.Put("victim", Object{Tape: 102, Start: cleanOn(segs102, b102, n102, n101), Segments: n101}); err != nil {
+			t.Fatal(err)
+		}
+		// A control object readable on 101 keeps the run healthy.
+		if err := cat.Put(Object{ID: "control", Tape: 101, Start: cleanOn(segs101, b101, n101, 1)}); err != nil {
+			t.Fatal(err)
+		}
+		if withReplicas {
+			cfg.Placement = pl
+		}
+		lib, err := New(cfg, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lib
+	}
+	reqs := []Request{
+		{ObjectID: "control", Arrival: 0},
+		{ObjectID: "victim", Arrival: 10},
+	}
+
+	_, m0, err := build(false).Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.Failed != 1 {
+		t.Fatalf("R=1 read inside the bad region failed %d requests, want 1", m0.Failed)
+	}
+	done, m1, err := build(true).Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLifecycleInvariants(t, len(reqs), done, m1)
+	if m1.Failed != 0 {
+		t.Fatalf("R=2 still failed %d requests", m1.Failed)
+	}
+	if m1.ReplicaReads != 1 {
+		t.Fatalf("want exactly 1 replica read, got %d", m1.ReplicaReads)
+	}
+	var victim *Completion
+	for i := range done {
+		if done[i].ObjectID == "victim" {
+			victim = &done[i]
+		}
+	}
+	if victim == nil {
+		t.Fatal("victim never completed")
+	}
+	if victim.Object.Tape != 102 {
+		t.Fatalf("victim served from tape %d, want replica tape 102", victim.Object.Tape)
+	}
+	if victim.Attribution.RescueSec <= 0 {
+		t.Fatal("replica read carries no rescue time for the aborted primary attempt")
+	}
+}
+
+// TestBrownoutShedding checks the admission breaker: while the only
+// drive is down, best-effort arrivals are shed and re-admitted after
+// the repair.
+func TestBrownoutShedding(t *testing.T) {
+	cfg := smallCfg(1)
+	cfg.Lifecycle = fault.LifecycleConfig{
+		DriveMTTFSec: 400,
+		DriveMTTRSec: 2000,
+		Seed:         1,
+	}
+	cat := smallCatalog(t, cfg, 4)
+	lib, err := New(cfg, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := lifecycleStream(200, 30)
+	for i := range reqs {
+		reqs[i].BestEffort = true
+	}
+	done, m, err := lib.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLifecycleInvariants(t, len(reqs), done, m)
+	if m.Shed == 0 {
+		t.Fatal("single drive with long outages shed no best-effort work")
+	}
+	if m.Served == 0 {
+		t.Fatal("breaker never re-admitted after repair")
+	}
+}
+
+// TestDeadlineShedding gives every request a budget too small for a
+// mount and checks requests queued past it are shed, not dispatched,
+// while a generous budget sheds nothing.
+func TestDeadlineShedding(t *testing.T) {
+	run := func(budget float64) Metrics {
+		cfg := smallCfg(1)
+		cfg.DeadlineSec = budget
+		cat := smallCatalog(t, cfg, 4)
+		lib, err := New(cfg, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := lifecycleStream(40, 5) // far faster than one drive can serve
+		_, m, err := lib.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Served + m.Failed + m.Rejected + m.Shed; got != len(reqs) {
+			t.Fatalf("conservation broken at budget %g: %d != %d", budget, got, len(reqs))
+		}
+		return m
+	}
+	tight := run(60)
+	if tight.Shed == 0 {
+		t.Fatal("60-second budget shed nothing under a saturated drive")
+	}
+	loose := run(1e9)
+	if loose.Shed != 0 {
+		t.Fatalf("effectively infinite budget shed %d requests", loose.Shed)
+	}
+}
+
+// TestZeroRateLifecycleEquivalence pins the bit-identity promise: a
+// sweep with an all-zero Lifecycle config produces deeply equal cells,
+// spans and metrics dumps to one without the field at any worker
+// count.
+func TestZeroRateLifecycleEquivalence(t *testing.T) {
+	sweep := func(withZeroLifecycle bool, workers int) ([]Cell, string) {
+		cfg := SweepConfig{
+			Profile:        geometry.Tiny(),
+			TapeCount:      2,
+			Objects:        8,
+			ObjectSegments: 4,
+			RatesPerHour:   []float64{120},
+			DriveCounts:    []int{1, 2},
+			BatchLimits:    []int{4},
+			Requests:       60,
+			Seed:           42,
+			Workers:        workers,
+			SpanCap:        4096,
+			Reg:            obs.NewRegistry(),
+		}
+		if withZeroLifecycle {
+			cfg.Lifecycle = fault.LifecycleConfig{} // all rates zero
+		}
+		cells, err := Sweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dump bytes.Buffer
+		if err := cfg.Reg.WriteProm(&dump); err != nil {
+			t.Fatal(err)
+		}
+		return cells, dump.String()
+	}
+
+	base, baseDump := sweep(false, 1)
+	zero, zeroDump := sweep(true, 1)
+	if !reflect.DeepEqual(base, zero) {
+		t.Fatal("zero-rate lifecycle changed sweep cells (metrics, spans or completions)")
+	}
+	if baseDump != zeroDump {
+		t.Fatal("zero-rate lifecycle changed the metrics dump")
+	}
+	_, dump8 := sweep(true, 8)
+	if zeroDump != dump8 {
+		t.Fatal("metrics dump differs between 1 and 8 workers")
+	}
+}
+
+// TestPlacementValidate covers the build-time replica checks: every
+// way a placement can be misconfigured must be rejected by New.
+func TestPlacementValidate(t *testing.T) {
+	mk := func(reps ...Object) error {
+		cfg := smallCfg(1)
+		cat := smallCatalog(t, cfg, 2)
+		pl := NewPlacement()
+		if len(reps) > 0 {
+			if err := pl.Put("t101/o0", reps...); err != nil {
+				return err
+			}
+		} else {
+			if err := pl.Put("nosuch", Object{Tape: 102}); err != nil {
+				return err
+			}
+		}
+		cfg.Placement = pl
+		_, err := New(cfg, cat)
+		return err
+	}
+	cases := []struct {
+		name string
+		reps []Object
+	}{
+		{"uncataloged object", nil},
+		{"unknown tape", []Object{{Tape: 999}}},
+		{"negative start", []Object{{Tape: 102, Start: -1}}},
+		{"extent past tape end", []Object{{Tape: 102, Start: 1 << 30}}},
+		{"segment-count mismatch", []Object{{Tape: 102, Segments: 7}}},
+		{"replica on primary's tape", []Object{{Tape: 101, Start: 500}}},
+		{"two replicas share a tape", []Object{{Tape: 102}, {Tape: 102, Start: 600}}},
+	}
+	for _, tc := range cases {
+		if err := mk(tc.reps...); err == nil {
+			t.Errorf("%s: New accepted an invalid placement", tc.name)
+		}
+	}
+	if err := NewPlacement().Put("", Object{Tape: 102}); err == nil {
+		t.Error("Put accepted an empty object ID")
+	}
+	if err := NewPlacement().Put("x"); err == nil {
+		t.Error("Put accepted zero replicas")
+	}
+}

@@ -35,6 +35,20 @@ type driveState struct {
 	base     float64
 	curBatch *obs.SpanHandle
 
+	// Lifecycle outage window (only advanced when lifecycle faults
+	// are armed): the drive is down on [downAt, repairedAt). Windows
+	// are drawn lazily from the drive's private MTTF/MTTR stream as
+	// the virtual clock passes them — the heap never carries failure
+	// events for the idle future, so a zero-rate run pushes exactly
+	// the events it always did. outCounted dedups the DriveFailures
+	// count (one per window however often the window is observed);
+	// rescue holds the requests stranded by a mid-batch death between
+	// the death and the robot unloading the cartridge.
+	downAt     float64
+	repairedAt float64
+	outCounted float64
+	rescue     []pending
+
 	// dl is the drive's metric label; opsC caches the per-op counters
 	// so the trace hook's fast path renders no metric keys. traceFn is
 	// the hook itself, built once and re-attached on every exchange.
@@ -53,15 +67,29 @@ type runState struct {
 	adm       *server.AdmissionQueue
 	q         *batchQueue
 	drives    []driveState
-	loadedBy  map[int64]int // cartridge serial -> drive holding it
+	loadedBy  map[int64]int // cartridge serial -> drive holding it (robotHeld while in transit)
 	events    eventHeap
 	robotFree float64 // virtual time the robot arm finishes its last exchange
-	reg       *obs.Registry
-	tr        *obs.Trace
-	trace     *obs.TraceHandle
-	root      *obs.SpanHandle
-	done      []Completion
-	m         Metrics
+
+	// Lifecycle-fault state, all nil/empty unless Config.Lifecycle is
+	// armed: the lifecycle generator, the brownout admission breaker,
+	// the permanently lost cartridges, and the per-cartridge fetch
+	// ordinals feeding the loss draws. requeues holds the payloads of
+	// pending evRequeue events (rescued batches and replica
+	// redirects), indexed by the event's ref. hasDeadlines short-
+	// circuits the per-batch expiry scan when no request carries one.
+	lc           *fault.Lifecycle
+	breaker      *server.Breaker
+	dead         map[int64]bool
+	fetches      map[int64]int
+	requeues     []requeueBatch
+	hasDeadlines bool
+	reg          *obs.Registry
+	tr           *obs.Trace
+	trace        *obs.TraceHandle
+	root         *obs.SpanHandle
+	done         []Completion
+	m            Metrics
 
 	// ex is the run's one recovering executor, re-pointed at the
 	// mounted drive per size class; prob is the reusable scheduling
@@ -79,6 +107,12 @@ type runState struct {
 	cBatches  *obs.Counter
 	cServed   *obs.Counter
 	cFailed   *obs.Counter
+	cShed     *obs.Counter
+	cRescued  *obs.Counter
+	cReplica  *obs.Counter
+	cLostCart *obs.Counter
+	cDriveDn  *obs.Counter
+	cStalls   *obs.Counter
 	cMounts   map[int64]*obs.Counter
 	hLatency  map[int64]*obs.Histogram
 	hRobotW   *obs.Histogram
@@ -95,6 +129,21 @@ type runState struct {
 	slotOf map[int]int32
 	slots  [][]pending
 	admBuf []server.Request
+}
+
+// robotHeld is the loadedBy sentinel for a cartridge in the robot's
+// gripper (being unloaded from a dead drive): no drive may pick it
+// until the requeue event puts it back on the shelf.
+const robotHeld = -1
+
+// requeueBatch is the payload of one evRequeue event: requests going
+// back to the backlog once the robot has shelved a dead drive's
+// cartridge (release set, serial identifying it) or a failed read has
+// redirected to a replica (release false).
+type requeueBatch struct {
+	serial  int64
+	release bool
+	ps      []pending
 }
 
 func (s *runState) counter(name string, extra ...obs.Label) *obs.Counter {
@@ -170,6 +219,7 @@ func (l *Library) Run(requests []Request) ([]Completion, Metrics, error) {
 // event-loop state.
 func (l *Library) newRun(requests []Request) (*runState, error) {
 	arrivals := make([]pending, 0, len(requests))
+	hasDeadlines := false
 	for i, r := range requests {
 		o, ok := l.catalog.Get(r.ObjectID)
 		if !ok {
@@ -177,6 +227,15 @@ func (l *Library) newRun(requests []Request) (*runState, error) {
 		}
 		if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) {
 			return nil, fmt.Errorf("tertiary: request %d arrives at %g", i, r.Arrival)
+		}
+		if r.Deadline < 0 || math.IsNaN(r.Deadline) || math.IsInf(r.Deadline, 0) {
+			return nil, fmt.Errorf("tertiary: request %d with deadline %g", i, r.Deadline)
+		}
+		if r.Deadline == 0 && l.cfg.DeadlineSec > 0 {
+			r.Deadline = r.Arrival + l.cfg.DeadlineSec
+		}
+		if r.Deadline > 0 {
+			hasDeadlines = true
 		}
 		arrivals = append(arrivals, pending{req: r, obj: o})
 	}
@@ -206,6 +265,7 @@ func (l *Library) newRun(requests []Request) (*runState, error) {
 		cMounts:  make(map[int64]*obs.Counter),
 		hLatency: make(map[int64]*obs.Histogram),
 	}
+	s.hasDeadlines = hasDeadlines
 	s.events.ev = make([]driveEvent, 0, l.cfg.Drives)
 	for i := range s.drives {
 		d := &s.drives[i]
@@ -213,6 +273,15 @@ func (l *Library) newRun(requests []Request) (*runState, error) {
 		d.idle = true
 		d.dl = obs.L("drive", strconv.Itoa(i))
 		d.traceFn = s.driveTraceFn(d)
+	}
+	if l.cfg.Lifecycle.Enabled() {
+		s.lc = fault.NewLifecycle(l.cfg.Lifecycle)
+		s.breaker = server.NewBreaker(l.cfg.Drives)
+		s.dead = make(map[int64]bool)
+		s.fetches = make(map[int64]int)
+		for i := range s.drives {
+			s.drives[i].outCounted = -1
+		}
 	}
 	if l.cfg.TraceCap > 0 {
 		s.tr = reg.AttachTrace(l.cfg.TraceCap)
@@ -230,13 +299,43 @@ func (l *Library) newRun(requests []Request) (*runState, error) {
 
 // admit moves every arrival with Arrival <= until through the bounded
 // admission queue into the per-cartridge backlog, shedding load once
-// the pending backlog reaches QueueCap.
+// the pending backlog reaches QueueCap. With lifecycle faults armed
+// the brownout breaker sits in front: it learns the live-drive count,
+// sheds best-effort work while any drive is down (everything while
+// all are down), and shrinks a bounded backlog to the live fraction
+// of its configured capacity. Arrivals whose primary cartridge has
+// been lost are redirected to a surviving replica at admission — or
+// failed outright when none remains.
 func (s *runState) admit(until float64) {
+	depthCap := s.queueCap
+	if s.breaker != nil {
+		live := 0
+		for i := range s.drives {
+			if !s.driveDown(&s.drives[i], until) {
+				live++
+			}
+		}
+		s.breaker.SetLive(live)
+		if s.cfg.QueueCap > 0 {
+			depthCap = s.breaker.EffectiveCap(depthCap)
+		}
+	}
 	for s.next < len(s.arrivals) && s.arrivals[s.next].req.Arrival <= until {
 		p := s.arrivals[s.next]
 		id := s.next
 		s.next++
-		if s.q.len()+s.adm.Len() >= s.queueCap ||
+		if s.breaker != nil && !s.breaker.Admits(p.req.BestEffort) {
+			s.shedRequests(1)
+			continue
+		}
+		if s.dead != nil && s.dead[p.obj.Tape] {
+			if !s.redirect(&p) {
+				s.failRequests(1)
+				continue
+			}
+			s.arrivals[id] = p // the drain below re-reads by ID
+		}
+		if s.q.len()+s.adm.Len() >= depthCap ||
 			!s.adm.Offer(server.Request{ID: id, Segment: p.obj.Start, ArrivalSec: p.req.Arrival}) {
 			s.m.Rejected++
 			if s.cRejected == nil {
@@ -270,8 +369,8 @@ func (s *runState) dispatch(now float64, boundary bool) error {
 	if s.cfg.Policy == server.ReplanOnArrival {
 		for i := range s.drives {
 			d := &s.drives[i]
-			if d.idle && d.loaded && s.q.perTape[d.serial] != nil {
-				if err := s.serve(d, d.serial, now); err != nil {
+			if d.idle && d.loaded && s.q.perTape[d.serial] != nil && !s.driveDown(d, now) {
+				if _, err := s.serve(d, d.serial, now); err != nil {
 					return err
 				}
 			}
@@ -279,18 +378,109 @@ func (s *runState) dispatch(now float64, boundary bool) error {
 	}
 	for i := range s.drives {
 		d := &s.drives[i]
-		if !d.idle {
-			continue
-		}
-		serial, ok := s.q.pickFor(s.loadedBy, d.id)
-		if !ok {
-			continue
-		}
-		if err := s.serve(d, serial, now); err != nil {
-			return err
+		// A pick that does not dispatch — the whole batch shed past
+		// its deadline, or the cartridge lost by the robot — leaves
+		// the drive idle with a changed queue, so re-pick: each
+		// failed pick removes its cartridge's group (shed, or
+		// drained for replica redirect), so the loop terminates.
+		for d.idle && !s.driveDown(d, now) {
+			serial, ok := s.q.pickFor(s.loadedBy, d.id)
+			if !ok {
+				break
+			}
+			dispatched, err := s.serve(d, serial, now)
+			if err != nil {
+				return err
+			}
+			if dispatched {
+				break
+			}
 		}
 	}
 	return nil
+}
+
+// advanceOutage draws the drive's outage windows forward until the
+// current one ends after now. Windows come lazily from the drive's
+// private MTTF/MTTR stream — drawn only as the virtual clock passes
+// them and always in time order, so the draw sequence is a pure
+// function of the config however the event loop interleaves drives.
+func (s *runState) advanceOutage(d *driveState, now float64) {
+	for d.repairedAt <= now {
+		gap, repair, ok := s.lc.NextOutage(d.id)
+		if !ok {
+			d.downAt, d.repairedAt = math.Inf(1), math.Inf(1)
+			return
+		}
+		d.downAt = d.repairedAt + gap
+		d.repairedAt = d.downAt + repair
+	}
+}
+
+// driveDown reports whether the drive is inside an outage window at
+// now. Always false without lifecycle faults.
+func (s *runState) driveDown(d *driveState, now float64) bool {
+	if s.lc == nil {
+		return false
+	}
+	s.advanceOutage(d, now)
+	if d.downAt <= now {
+		s.noteOutage(d)
+		return true
+	}
+	return false
+}
+
+// noteOutage counts the drive's current outage window once, however
+// often it is observed, and emits its "down" span on the drive's lane.
+func (s *runState) noteOutage(d *driveState) {
+	if d.outCounted == d.downAt {
+		return
+	}
+	d.outCounted = d.downAt
+	s.m.DriveFailures++
+	if s.cDriveDn == nil {
+		s.cDriveDn = s.counter("drive_failures_total")
+	}
+	s.cDriveDn.Inc()
+	if s.trace != nil {
+		s.trace.Start("down", s.root, d.downAt).Lane(1 + d.id).End(d.repairedAt)
+	}
+}
+
+// redirect advances p to its next replica on a surviving cartridge,
+// reporting false when none remains.
+func (s *runState) redirect(p *pending) bool {
+	reps := s.cfg.Placement.Get(p.req.ObjectID)
+	for {
+		p.replica++
+		if p.replica > len(reps) {
+			return false
+		}
+		if o := reps[p.replica-1]; !s.dead[o.Tape] {
+			p.obj = o
+			return true
+		}
+	}
+}
+
+// failRequests counts n requests abandoned permanently.
+func (s *runState) failRequests(n int) {
+	s.m.Failed += n
+	if s.cFailed == nil {
+		s.cFailed = s.counter("failed_total")
+	}
+	s.cFailed.Add(int64(n))
+}
+
+// shedRequests counts n requests dropped deliberately: refused by the
+// brownout breaker or expired past their deadline.
+func (s *runState) shedRequests(n int) {
+	s.m.Shed += n
+	if s.cShed == nil {
+		s.cShed = s.counter("shed_total")
+	}
+	s.cShed.Add(int64(n))
 }
 
 // nextTime returns the next virtual time anything can happen: a drive
@@ -308,7 +498,23 @@ func (s *runState) nextTime(now float64) (t float64, boundary, ok bool) {
 		}
 		ok = true
 	}
-	if s.cfg.Policy == server.FixedWindow && s.q.len() > 0 && s.anyIdle() {
+	if s.lc != nil && s.q.len() > 0 {
+		// Work is queued but may be waiting on a repair: every idle
+		// drive inside an outage window becomes available at its
+		// repairedAt (including the drive holding a captive cartridge,
+		// and the all-drives-down case, where no other event would
+		// ever wake the loop).
+		for i := range s.drives {
+			d := &s.drives[i]
+			if d.idle && s.driveDown(d, now) {
+				if d.repairedAt < t {
+					t = d.repairedAt
+				}
+				ok = true
+			}
+		}
+	}
+	if s.cfg.Policy == server.FixedWindow && s.q.len() > 0 && s.anyAvailable(now) {
 		b := s.cfg.WindowSec * math.Ceil(now/s.cfg.WindowSec)
 		for b <= now {
 			b += s.cfg.WindowSec
@@ -321,23 +527,111 @@ func (s *runState) nextTime(now float64) (t float64, boundary, ok bool) {
 	return t, boundary, ok
 }
 
-func (s *runState) anyIdle() bool {
+// anyAvailable reports whether any drive is idle and outside an
+// outage window at now (plain idleness without lifecycle faults).
+func (s *runState) anyAvailable(now float64) bool {
 	for i := range s.drives {
-		if s.drives[i].idle {
+		d := &s.drives[i]
+		if d.idle && !s.driveDown(d, now) {
 			return true
 		}
 	}
 	return false
 }
 
-// wake pops every event at or before now, marking its drive idle.
+// wake pops every event at or before now: drives going idle, drives
+// dying mid-batch (the robot unloads them and their stranded requests
+// are scheduled for requeue), and rescued or redirected requests
+// re-entering the backlog. Handlers may push further events at the
+// same instant (a free robot books an immediate unload); the loop
+// drains those too.
 func (s *runState) wake(now float64) {
 	for {
 		ev, ok := s.events.popLE(now)
 		if !ok {
 			return
 		}
-		s.drives[ev.drive].idle = true
+		switch ev.kind {
+		case evIdle:
+			s.drives[ev.drive].idle = true
+		case evFail:
+			s.handleDriveFail(&s.drives[ev.drive], ev.at)
+		case evRequeue:
+			s.handleRequeue(&s.requeues[ev.ref])
+		}
+	}
+}
+
+// handleDriveFail books the rescue of a drive that died mid-batch at
+// time t: the robot unloads the captive cartridge as soon as the arm
+// is free (the cartridge stays unavailable while in the gripper), the
+// stranded requests requeue once it is shelved, and the drive itself
+// stays unavailable until its outage window ends.
+func (s *runState) handleDriveFail(d *driveState, t float64) {
+	wait := 0.0
+	if s.robotFree > t {
+		wait = s.robotFree - t
+		s.m.RobotWaitSec += wait
+		if s.hRobotW == nil {
+			s.hRobotW = s.histogram("robot_wait_seconds")
+		}
+		s.hRobotW.Observe(wait)
+	}
+	unloadEnd := t + wait + s.cfg.UnmountSec
+	s.robotFree = unloadEnd
+	s.m.Unmounts++
+	s.m.RobotMoves++
+	s.m.RobotBusySec += s.cfg.UnmountSec
+	if s.cUnmounts == nil {
+		s.cUnmounts = s.counter("unmounts_total")
+	}
+	s.cUnmounts.Inc()
+
+	s.m.Rescued += len(d.rescue)
+	if s.cRescued == nil {
+		s.cRescued = s.counter("rescued_total")
+	}
+	s.cRescued.Add(int64(len(d.rescue)))
+	if s.trace != nil {
+		s.trace.Start("rescue", s.root, t).Lane(1+d.id).
+			Attr("tape", strconv.FormatInt(d.serial, 10)).
+			AttrInt("count", len(d.rescue)).End(unloadEnd)
+	}
+
+	// Wear is retired at unload like a normal exchange; the cartridge
+	// rides the gripper (robotHeld) until the requeue shelves it.
+	d.passes += d.dev.Stats().HeadPasses(s.cfg.Profile)
+	s.loadedBy[d.serial] = robotHeld
+	serial := d.serial
+	d.loaded = false
+	d.idle = true
+
+	s.requeues = append(s.requeues, requeueBatch{serial: serial, release: true, ps: d.rescue})
+	d.rescue = nil
+	s.events.push(driveEvent{at: unloadEnd, drive: d.id, kind: evRequeue, ref: int32(len(s.requeues) - 1)})
+	if unloadEnd > s.m.Makespan {
+		s.m.Makespan = unloadEnd
+	}
+}
+
+// handleRequeue returns a rescue or replica-redirect payload to the
+// backlog, shelving the carried cartridge first when there is one. A
+// target cartridge that died while the batch was in flight redirects
+// again (or fails the request when its replicas are exhausted).
+func (s *runState) handleRequeue(rq *requeueBatch) {
+	if rq.release && s.loadedBy[rq.serial] == robotHeld {
+		delete(s.loadedBy, rq.serial)
+	}
+	for _, p := range rq.ps {
+		if s.dead != nil && s.dead[p.obj.Tape] && !s.redirect(&p) {
+			s.failRequests(1)
+			continue
+		}
+		s.q.push(p)
+	}
+	rq.ps = nil
+	if depth := s.q.len(); depth > s.m.MaxQueueDepth {
+		s.m.MaxQueueDepth = depth
 	}
 }
 
@@ -373,6 +667,22 @@ func (s *runState) exchange(d *driveState, serial int64, now float64) (rewind, w
 	s.m.Mounts++
 	s.m.RobotMoves++
 	s.mountsCounter(serial).Inc()
+	if s.lc != nil {
+		// Robot stalls extend the exchange handling time; the draw is
+		// a pure hash of the arm-trip ordinal, so it does not depend
+		// on which drive asked.
+		if stall := s.lc.RobotStall(s.m.RobotMoves); stall > 0 {
+			exDur += stall
+			s.m.RobotStalls++
+			if s.cStalls == nil {
+				s.cStalls = s.counter("robot_stalls_total")
+			}
+			s.cStalls.Inc()
+			if s.trace != nil {
+				s.trace.Start("robot-stall", d.curBatch, now+rewind).End(now + rewind + stall)
+			}
+		}
+	}
 
 	wait = 0.0
 	exStart := now + rewind
@@ -395,8 +705,18 @@ func (s *runState) exchange(d *driveState, serial int64, now float64) (rewind, w
 	}
 
 	dev := drive.New(s.l.tapes[serial])
-	if s.cfg.Faults.Enabled() {
-		f := s.cfg.Faults
+	f := s.cfg.Faults
+	armed := f.Enabled()
+	if s.lc != nil {
+		// A cartridge's bad-spot region is a permanent media defect:
+		// a pure hash of the serial, so every mount of the cartridge
+		// sees the same region.
+		if start, n, bad := s.lc.BadSpot(serial, s.l.tapes[serial].Segments()); bad {
+			f.BadSpotStart, f.BadSpotLen = start, n
+			armed = true
+		}
+	}
+	if armed {
 		f.Seed = deriveFaultSeed(s.cfg.Faults.Seed, serial, d.id, d.mounts)
 		dev.AttachFaults(fault.New(f))
 	}
@@ -459,15 +779,45 @@ func (s *runState) driveTraceFn(d *driveState) drive.TraceFunc {
 // it on the drive: exchange if needed, then one scheduling problem
 // per distinct extent length (the paper's model schedules fixed-size
 // requests; mixed sizes are served size class by size class, largest
-// class first), each executed through the recovering executor.
-func (s *runState) serve(d *driveState, serial int64, now float64) error {
+// class first), each executed through the recovering executor. It
+// reports whether the drive actually dispatched: a batch entirely
+// shed past its deadline, or a cartridge the robot loses on the
+// fetch, leaves the drive idle (and the queue changed) for the
+// dispatch loop to re-pick.
+func (s *runState) serve(d *driveState, serial int64, now float64) (bool, error) {
 	limit := s.cfg.BatchLimit
 	if s.cfg.Policy == server.ReplanOnArrival {
 		limit = 1
 	}
 	batch := s.q.take(serial, limit)
 	if len(batch) == 0 {
-		return fmt.Errorf("tertiary: internal: dispatched empty batch for tape %d", serial)
+		return false, fmt.Errorf("tertiary: internal: dispatched empty batch for tape %d", serial)
+	}
+	// Deadline enforcement happens at batch-cut time: a request that
+	// expired while queued is shed, never dispatched.
+	if s.hasDeadlines {
+		kept := batch[:0]
+		for _, p := range batch {
+			if p.req.Deadline > 0 && now > p.req.Deadline {
+				s.shedRequests(1)
+				continue
+			}
+			kept = append(kept, p)
+		}
+		if batch = kept; len(batch) == 0 {
+			return false, nil
+		}
+	}
+	// A fetch of an unmounted cartridge can lose it permanently: the
+	// arm trip happens (one robot move) but no mount does, and the
+	// batch degrades to surviving replicas or fails.
+	if s.lc != nil && (!d.loaded || d.serial != serial) {
+		ord := s.fetches[serial]
+		s.fetches[serial] = ord + 1
+		if s.lc.CartridgeLost(serial, ord) {
+			s.loseCartridge(d, serial, now, batch)
+			return false, nil
+		}
 	}
 	d.idle = false
 	if s.trace != nil {
@@ -478,6 +828,16 @@ func (s *runState) serve(d *driveState, serial int64, now float64) error {
 	var rewind, wait, exDur float64
 	if !d.loaded || d.serial != serial {
 		rewind, wait, exDur = s.exchange(d, serial, now)
+	}
+	// cut is the time the drive's next outage begins: completions and
+	// failures past it never happen — the batch is truncated there
+	// and its unfinished requests rescued. Infinite without lifecycle
+	// faults, and strictly after now (dispatch only serves drives
+	// outside an outage window).
+	cut := math.Inf(1)
+	if s.lc != nil {
+		s.advanceOutage(d, now)
+		cut = d.downAt
 	}
 	serveStart := now + rewind + wait + exDur
 	c0 := d.dev.Clock()
@@ -499,8 +859,8 @@ func (s *runState) serve(d *driveState, serial int64, now float64) error {
 		}
 	}
 	if single {
-		if err := s.serveClass(d, serial, now, serveStart, c0, wait, rewind+exDur, rl0, batch); err != nil {
-			return err
+		if err := s.serveClass(d, serial, now, serveStart, c0, wait, rewind+exDur, cut, rl0, batch); err != nil {
+			return false, err
 		}
 	} else {
 		byLen := make(map[int][]pending)
@@ -518,16 +878,28 @@ func (s *runState) serve(d *driveState, serial int64, now float64) error {
 			return lens[i] < lens[j]
 		})
 		for _, rl := range lens {
-			if err := s.serveClass(d, serial, now, serveStart, c0, wait, rewind+exDur, rl, byLen[rl]); err != nil {
-				return err
+			if err := s.serveClass(d, serial, now, serveStart, c0, wait, rewind+exDur, cut, rl, byLen[rl]); err != nil {
+				return false, err
 			}
 		}
 	}
 
 	elapsed := d.dev.Clock() - c0
 	end := serveStart + elapsed
-	d.busy += rewind + wait + exDur + elapsed
-	s.events.push(driveEvent{at: end, drive: d.id})
+	dur := rewind + wait + exDur + elapsed
+	if end > cut {
+		// The drive died mid-batch: its unfinished requests are
+		// already collected on d.rescue; the robot unload is booked
+		// when the evFail event fires, so arm contention is accounted
+		// in virtual-time order. The drive stays unavailable until
+		// its outage window ends.
+		s.noteOutage(d)
+		end, dur = cut, cut-now
+		s.events.push(driveEvent{at: cut, drive: d.id, kind: evFail})
+	} else {
+		s.events.push(driveEvent{at: end, drive: d.id})
+	}
+	d.busy += dur
 	if end > s.m.Makespan {
 		s.m.Makespan = end
 	}
@@ -541,10 +913,59 @@ func (s *runState) serve(d *driveState, serial int64, now float64) error {
 		s.hBatchSec = s.histogram("batch_seconds")
 	}
 	s.hBatchSz.Observe(float64(len(batch)))
-	s.hBatchSec.Observe(rewind + wait + exDur + elapsed)
+	s.hBatchSec.Observe(dur)
+	if d.curBatch != nil && len(d.rescue) > 0 {
+		d.curBatch.AttrInt("rescued", len(d.rescue))
+	}
 	d.curBatch.End(end)
 	d.curBatch = nil
-	return nil
+	return true, nil
+}
+
+// loseCartridge handles a failed fetch: the cartridge is permanently
+// gone. The taken batch plus the tape's remaining backlog redirect to
+// surviving replicas once the arm trip returns empty-handed, or fail
+// when no replica remains.
+func (s *runState) loseCartridge(d *driveState, serial int64, now float64, batch []pending) {
+	s.dead[serial] = true
+	s.m.LostCartridges++
+	if s.cLostCart == nil {
+		s.cLostCart = s.counter("lost_cartridges_total")
+	}
+	s.cLostCart.Inc()
+	wait := 0.0
+	if s.robotFree > now {
+		wait = s.robotFree - now
+		s.m.RobotWaitSec += wait
+		if s.hRobotW == nil {
+			s.hRobotW = s.histogram("robot_wait_seconds")
+		}
+		s.hRobotW.Observe(wait)
+	}
+	tripEnd := now + wait + s.cfg.MountSec
+	s.robotFree = tripEnd
+	s.m.RobotMoves++
+	s.m.RobotBusySec += s.cfg.MountSec
+	if s.trace != nil {
+		s.trace.Start("lost-cartridge", s.root, now).
+			Attr("tape", strconv.FormatInt(serial, 10)).End(tripEnd)
+	}
+	batch = append(batch, s.q.take(serial, 0)...)
+	redirected := make([]pending, 0, len(batch))
+	for _, p := range batch {
+		if s.redirect(&p) {
+			redirected = append(redirected, p)
+		} else {
+			s.failRequests(1)
+		}
+	}
+	if len(redirected) > 0 {
+		s.requeues = append(s.requeues, requeueBatch{ps: redirected})
+		s.events.push(driveEvent{at: tripEnd, drive: d.id, kind: evRequeue, ref: int32(len(s.requeues) - 1)})
+	}
+	if tripEnd > s.m.Makespan {
+		s.m.Makespan = tripEnd
+	}
 }
 
 // serveClass schedules and executes one size class of the batch.
@@ -553,8 +974,10 @@ func (s *runState) serve(d *driveState, serial int64, now float64) error {
 // pending sharing a served segment completes at that read's time.
 // now is the batch's dispatch time; robotSec and mountSec are the
 // exchange costs every request in the batch sat through, attributed
-// to each.
-func (s *runState) serveClass(d *driveState, serial int64, now, serveStart, c0, robotSec, mountSec float64, rl int, group []pending) error {
+// to each. cut is the time the drive's next outage begins: outcomes
+// past it never happen — those requests are rescued onto d.rescue
+// with the doomed attempt's duration charged to their RescueSec.
+func (s *runState) serveClass(d *driveState, serial int64, now, serveStart, c0, robotSec, mountSec, cut float64, rl int, group []pending) error {
 	// The start -> pending-requests multimap lives in run-lifetime
 	// scratch: slotOf indexes into slots, whose per-slot slices keep
 	// their backing arrays across batches. Every entry is deleted as
@@ -601,15 +1024,27 @@ func (s *runState) serveClass(d *driveState, serial int64, now, serveStart, c0, 
 			return fmt.Errorf("tertiary: schedule visits segment %d on tape %d more often than requested", seg, serial)
 		}
 		det := er.Detail[i]
+		if serveStart+offset+er.Completions[i] > cut {
+			// The drive dies before this read completes: rescue every
+			// pending on the segment. Time since dispatch becomes
+			// rescue time, not queueing, when they finally complete.
+			for _, p := range s.slots[si] {
+				p.rescueSec += cut - now
+				d.rescue = append(d.rescue, p)
+			}
+			delete(s.slotOf, seg)
+			continue
+		}
 		for _, p := range s.slots[si] {
 			done := serveStart + offset + er.Completions[i]
 			attr := Attribution{
-				QueueSec:    (now - p.req.Arrival) + offset + det.BeginSec,
+				QueueSec:    (now - p.req.Arrival) + offset + det.BeginSec - p.rescueSec,
 				RobotSec:    robotSec,
 				MountSec:    mountSec,
 				LocateSec:   det.LocateSec,
 				TransferSec: det.ReadSec,
 				RetrySec:    det.RetrySec,
+				RescueSec:   p.rescueSec,
 			}
 			s.done = append(s.done, Completion{
 				Request: p.req, Object: p.obj,
@@ -617,16 +1052,27 @@ func (s *runState) serveClass(d *driveState, serial int64, now, serveStart, c0, 
 				DriveID:     d.id,
 				Attribution: attr,
 			})
+			if p.replica > 0 {
+				s.m.ReplicaReads++
+				if s.cReplica == nil {
+					s.cReplica = s.counter("replica_reads_total")
+				}
+				s.cReplica.Inc()
+			}
 			if s.trace != nil {
-				s.trace.Start("request", s.root, p.req.Arrival).
+				rs := s.trace.Start("request", s.root, p.req.Arrival).
 					Attr("object", p.obj.ID).AttrInt("drive", d.id).
 					AttrFloat("queue_sec", attr.QueueSec).
 					AttrFloat("robot_sec", attr.RobotSec).
 					AttrFloat("mount_sec", attr.MountSec).
 					AttrFloat("locate_sec", attr.LocateSec).
 					AttrFloat("transfer_sec", attr.TransferSec).
-					AttrFloat("retry_sec", attr.RetrySec).
-					End(done)
+					AttrFloat("retry_sec", attr.RetrySec)
+				if p.replica > 0 {
+					rs.AttrInt("replica", p.replica)
+					s.trace.Start("replica-read", rs, now).AttrInt("replica", p.replica).End(done)
+				}
+				rs.End(done)
 			}
 			if s.cServed == nil {
 				s.cServed = s.counter("served_total")
@@ -636,16 +1082,41 @@ func (s *runState) serveClass(d *driveState, serial int64, now, serveStart, c0, 
 		}
 		delete(s.slotOf, seg)
 	}
-	for _, seg := range er.Failed {
+	for i, seg := range er.Failed {
 		si, ok := s.slotOf[seg]
 		if !ok {
 			return fmt.Errorf("tertiary: schedule visits segment %d on tape %d more often than requested", seg, serial)
 		}
-		s.m.Failed += len(s.slots[si])
-		if s.cFailed == nil {
-			s.cFailed = s.counter("failed_total")
+		failAbs := serveStart + offset + er.FailedAt[i]
+		switch {
+		case failAbs > cut:
+			// The drive dies before the failure is decided: rescued,
+			// like an unfinished read.
+			for _, p := range s.slots[si] {
+				p.rescueSec += cut - now
+				d.rescue = append(d.rescue, p)
+			}
+		case s.cfg.Placement != nil:
+			// A permanent failure with replicas configured degrades
+			// to a remote-replica read: each pending redirects to its
+			// next surviving copy at the moment the failure was
+			// decided, re-entering the backlog then.
+			var redirected []pending
+			for _, p := range s.slots[si] {
+				p.rescueSec += failAbs - now
+				if s.redirect(&p) {
+					redirected = append(redirected, p)
+				} else {
+					s.failRequests(1)
+				}
+			}
+			if len(redirected) > 0 {
+				s.requeues = append(s.requeues, requeueBatch{ps: redirected})
+				s.events.push(driveEvent{at: failAbs, drive: d.id, kind: evRequeue, ref: int32(len(s.requeues) - 1)})
+			}
+		default:
+			s.failRequests(len(s.slots[si]))
 		}
-		s.cFailed.Add(int64(len(s.slots[si])))
 		delete(s.slotOf, seg)
 	}
 	if len(s.slotOf) > 0 {
@@ -688,6 +1159,14 @@ func (s *runState) finish() {
 	s.gauge("makespan_seconds").Set(s.m.Makespan)
 	s.gauge("queue_depth_max").Max(float64(s.m.MaxQueueDepth))
 	s.gauge("robot_busy_seconds").Set(s.m.RobotBusySec)
+	if s.lc != nil {
+		// Lifecycle-only attributes, so a zero-rate run's spans are
+		// identical to one without the Lifecycle field.
+		s.root.AttrInt("shed", s.m.Shed).AttrInt("rescued", s.m.Rescued).
+			AttrInt("replica_reads", s.m.ReplicaReads).
+			AttrInt("drive_failures", s.m.DriveFailures).
+			AttrInt("lost_cartridges", s.m.LostCartridges)
+	}
 	s.root.AttrInt("served", s.m.Served).AttrInt("failed", s.m.Failed).
 		AttrInt("rejected", s.m.Rejected).End(s.m.Makespan)
 }

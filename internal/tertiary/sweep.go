@@ -57,6 +57,11 @@ type SweepConfig struct {
 	// ignored: each cell derives an injector base seed from Seed and
 	// the cell coordinates.
 	Faults fault.Config
+	// Lifecycle arms component lifecycle faults in every cell when
+	// any rate is non-zero. Its Seed is likewise ignored: each cell
+	// derives one from Seed and the cell coordinates, so lifecycle
+	// fault sequences do not depend on sweep order or worker count.
+	Lifecycle fault.LifecycleConfig
 	// Seed seeds each cell's arrival stream and object picks,
 	// derived per cell so results do not depend on sweep order or
 	// worker count.
@@ -216,6 +221,10 @@ func Sweep(cfg SweepConfig) ([]Cell, error) {
 				if faults.Enabled() {
 					faults.Seed = seed + 3
 				}
+				lifecycle := cfg.Lifecycle
+				if lifecycle.Enabled() {
+					lifecycle.Seed = seed + 5
+				}
 				reg := obs.NewRegistry()
 				var spans *obs.Tracer
 				if cfg.SpanCap > 0 {
@@ -234,6 +243,7 @@ func Sweep(cfg SweepConfig) ([]Cell, error) {
 					QueueCap:   cfg.QueueCap,
 					Retry:      cfg.Retry,
 					Faults:     faults,
+					Lifecycle:  lifecycle,
 					Reg:        reg,
 					Spans:      spans,
 					Labels: []obs.Label{

@@ -83,6 +83,16 @@ type Request struct {
 	ObjectID string
 	// Arrival is the request's arrival time in virtual seconds.
 	Arrival float64
+	// Deadline is the absolute virtual time after which serving the
+	// request is pointless; a request still queued past it is shed at
+	// batch-cut time rather than dispatched. 0 means no deadline (the
+	// default; see Config.DeadlineSec for a stream-wide budget).
+	Deadline float64
+	// BestEffort marks work the library may shed first under degraded
+	// capacity: while any drive is down the brownout admission state
+	// sheds best-effort arrivals, and while every drive is down it
+	// sheds everything (see Config.Lifecycle).
+	BestEffort bool
 }
 
 // Completion reports one served request.
@@ -113,6 +123,27 @@ type Metrics struct {
 	// Rejected is the number of requests shed at admission because
 	// the library's pending backlog was at QueueCap.
 	Rejected int
+	// Shed is the number of requests dropped deliberately: refused by
+	// the brownout admission breaker while drives were down, or
+	// expired past their deadline while still queued. Served + Failed
+	// + Rejected + Shed partitions the offered stream.
+	Shed int
+	// Rescued counts requests stranded by a drive dying mid-batch and
+	// returned to the backlog (a request rescued twice counts twice);
+	// every rescued request is eventually served, shed or failed and
+	// is counted there too.
+	Rescued int
+	// ReplicaReads counts requests served from a non-primary replica
+	// after their primary cartridge was lost or its extent hit a
+	// permanent media defect.
+	ReplicaReads int
+	// LostCartridges counts cartridges the robot permanently lost
+	// (failed fetches); DriveFailures counts drive outages that
+	// affected operation; RobotStalls counts arm stalls that extended
+	// an exchange.
+	LostCartridges int
+	DriveFailures  int
+	RobotStalls    int
 	// Makespan is the virtual time the last drive went idle.
 	Makespan float64
 	// MeanLatency and MaxLatency summarize response times.
@@ -200,6 +231,27 @@ type Config struct {
 	// Faults.Seed, the cartridge serial, the drive and the mount
 	// ordinal.
 	Faults fault.Config
+	// Lifecycle arms component lifecycle faults when any rate is
+	// non-zero: drives fail and repair on seeded MTTF/MTTR processes
+	// (unfinished batch requests are unloaded and rescued onto
+	// surviving drives), the robot arm stalls, cartridges are
+	// permanently lost by failed fetches, and cartridges carry
+	// permanent bad-spot regions. The zero value changes nothing: a
+	// run with all rates zero is bit-identical to one without the
+	// field. The analytical twin (Estimate) ignores lifecycle faults.
+	Lifecycle fault.LifecycleConfig
+	// Placement maps objects to extra replicas on distinct
+	// cartridges; with it, a lost cartridge or permanent media defect
+	// degrades the read to a surviving replica (an extra mount)
+	// instead of failing the request. nil means no replicas.
+	Placement *Placement
+	// DeadlineSec, when positive, gives every request without an
+	// explicit Deadline a budget of Arrival + DeadlineSec; a request
+	// still queued past its deadline is shed at batch-cut time. 0
+	// disables the default — only explicit per-request deadlines are
+	// enforced. The recommended budget is sim.DefaultRequestTimeoutSec,
+	// the same constant bounding the executor's per-request drive time.
+	DeadlineSec float64
 	// Reg receives the run's metrics; nil creates a fresh registry.
 	Reg *obs.Registry
 	// Labels are added to every metric series the run emits; the
@@ -270,6 +322,12 @@ func New(cfg Config, catalog *Catalog) (*Library, error) {
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, fmt.Errorf("tertiary: faults: %w", err)
 	}
+	if err := cfg.Lifecycle.Validate(); err != nil {
+		return nil, fmt.Errorf("tertiary: lifecycle: %w", err)
+	}
+	if cfg.DeadlineSec < 0 || math.IsNaN(cfg.DeadlineSec) || math.IsInf(cfg.DeadlineSec, 0) {
+		return nil, fmt.Errorf("tertiary: deadline budget of %g seconds", cfg.DeadlineSec)
+	}
 	sched := cfg.Scheduler
 	if sched == nil {
 		sched = core.NewAuto()
@@ -307,6 +365,9 @@ func New(cfg Config, catalog *Catalog) (*Library, error) {
 				id, o.Start, o.Start+o.segments(), o.Tape)
 		}
 	}
+	if err := cfg.Placement.validate(l); err != nil {
+		return nil, err
+	}
 	return l, nil
 }
 
@@ -321,7 +382,15 @@ func (l *Library) Tapes() []int64 {
 }
 
 // pending is one unserved request resolved against the catalog.
+// replica is the copy currently targeted: 0 is the catalog primary,
+// k > 0 the k-th placement replica (obj is kept in sync). rescueSec
+// accumulates virtual time lost to aborted serve attempts — batches
+// cut short by a drive death, reads redirected to a replica after a
+// media failure — attributed separately from queueing when the
+// request finally completes.
 type pending struct {
-	req Request
-	obj Object
+	req       Request
+	obj       Object
+	replica   int
+	rescueSec float64
 }
