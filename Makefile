@@ -21,16 +21,17 @@ GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
 FUZZTIME ?= 30s
 
-.PHONY: verify test vet fmt race bench bench-json bench-pr6 profile fuzz-smoke lint results clean
+.PHONY: verify test vet fmt race bench bench-json bench-pr6 profile fuzz-smoke lint vulncheck cover results clean
 
 # Tier-1 verify: build, vet, full test suite, and the race detector
 # over the parallel simulator plus the packages it drives concurrently
 # (the drive emulator, the scheduler suite, the online server and its
-# metrics registry, and the multi-drive tape library).
+# metrics registry, the multi-drive tape library, and the sharded
+# fleet).
 verify: vet
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/... ./internal/tertiary/...
+	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/... ./internal/tertiary/... ./internal/fleet/...
 
 test:
 	$(GO) test ./...
@@ -43,7 +44,7 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/... ./internal/tertiary/...
+	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/... ./internal/tertiary/... ./internal/fleet/...
 
 # Run the performance-critical benchmarks with allocation reporting:
 # the scheduler suite, the locate-model fast path, and the root-level
@@ -78,9 +79,9 @@ profile:
 		-o results/pprof/tertiary.test ./internal/tertiary
 
 # Short fuzzing passes over the executor's replan path, the server's
-# admission queue, the library batcher, and the bounded span store —
-# the state machines arbitrary inputs can reach. CI runs this on every
-# PR; locally, raise FUZZTIME to dig.
+# admission queue, the library batcher, the bounded span store, and
+# the fleet routing tier — the state machines arbitrary inputs can
+# reach. CI runs this on every PR; locally, raise FUZZTIME to dig.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzExecutorReplan$$' -fuzztime $(FUZZTIME) ./internal/sim/
 	$(GO) test -run '^$$' -fuzz '^FuzzAdmissionQueue$$' -fuzztime $(FUZZTIME) ./internal/server/
@@ -88,12 +89,25 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLibraryRescue$$' -fuzztime $(FUZZTIME) ./internal/tertiary/
 	$(GO) test -run '^$$' -fuzz '^FuzzEventHeap$$' -fuzztime $(FUZZTIME) ./internal/tertiary/
 	$(GO) test -run '^$$' -fuzz '^FuzzSpanStore$$' -fuzztime $(FUZZTIME) ./internal/obs/
+	$(GO) test -run '^$$' -fuzz '^FuzzFleetRouting$$' -fuzztime $(FUZZTIME) ./internal/fleet/
 
 # Static analysis beyond vet, with pinned tool versions. Needs network
 # on first run to fetch the tools (CI caches them).
 lint:
 	$(GO) run $(STATICCHECK) ./...
 	$(GO) run $(GOVULNCHECK) ./...
+
+# The vulnerability scan alone, for the weekly scheduled workflow:
+# advisories published after a commit landed are the case the per-PR
+# lint run cannot catch.
+vulncheck:
+	$(GO) run $(GOVULNCHECK) ./...
+
+# Coverage over the internal packages; CI uploads the profile as a PR
+# artifact and posts the aggregate line in the job summary.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./internal/...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Regenerate every committed result table. The generators are
 # deterministic at any worker count, so `git diff results/` after this
@@ -103,6 +117,7 @@ results:
 	$(GO) run ./cmd/serve > results/online.txt
 	$(GO) run ./cmd/library > results/library.txt
 	$(GO) run ./cmd/outage > results/availability.txt
+	$(GO) run ./cmd/fleet > results/fleet.txt
 	$(GO) run ./cmd/trace
 
 clean:

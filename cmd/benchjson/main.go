@@ -14,6 +14,16 @@
 // captured on an earlier revision) and its records are embedded under
 // "baseline", so before/after evidence lives in one committed
 // document.
+//
+// With -gate FILE, benchjson becomes a regression gate instead of a
+// converter: FILE is a committed JSON report (a prior benchjson
+// output), stdin is a fresh bench run, and the tool exits nonzero if
+// any benchmark matched by -gate-bench got slower than the committed
+// ns/op by more than -gate-threshold. Duplicate runs of one name are
+// collapsed to their minimum on both sides, damping scheduler noise
+// the way benchstat's best-of does.
+//
+//	go test -bench ... -count 5 | benchjson -gate BENCH_PR6.json
 package main
 
 import (
@@ -23,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,12 +60,19 @@ type Report struct {
 
 func main() {
 	baselinePath := flag.String("baseline", "", "bench text file from the comparison revision to embed under \"baseline\"")
+	gatePath := flag.String("gate", "", "committed JSON report to gate fresh bench text (stdin) against")
+	gateBench := flag.String("gate-bench", "BenchmarkLibrarySweepCell$|BenchmarkServerSteadyState",
+		"regexp selecting which benchmark names the gate enforces")
+	gateThreshold := flag.Float64("gate-threshold", 0.15, "allowed fractional ns/op regression before the gate fails")
 	flag.Parse()
 
 	rep := Report{Benchmarks: []Benchmark{}}
 	var cpu string
 	rep.Benchmarks, cpu = parse(os.Stdin)
 	rep.CPU = cpu
+	if *gatePath != "" {
+		os.Exit(gate(rep.Benchmarks, *gatePath, *gateBench, *gateThreshold))
+	}
 	if *baselinePath != "" {
 		f, err := os.Open(*baselinePath)
 		if err != nil {
@@ -69,6 +88,74 @@ func main() {
 		os.Exit(1)
 	}
 	os.Stdout.Write(append(out, '\n'))
+}
+
+// gate compares fresh records against the committed report and
+// returns the process exit code: 0 when every gated benchmark stays
+// within threshold of its committed ns/op, 1 on any regression.
+func gate(fresh []Benchmark, path, pattern string, threshold float64) int {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -gate-bench:", err)
+		return 2
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	var committed Report
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		return 2
+	}
+
+	// Best-of per name on both sides: -count N reruns collapse to
+	// their fastest observation, the measurement least polluted by
+	// runner noise.
+	minNs := func(benches []Benchmark) map[string]float64 {
+		best := make(map[string]float64)
+		for _, b := range benches {
+			ns, ok := b.Metrics["ns/op"]
+			if !ok || !re.MatchString(b.Name) {
+				continue
+			}
+			if cur, seen := best[b.Name]; !seen || ns < cur {
+				best[b.Name] = ns
+			}
+		}
+		return best
+	}
+	base := minNs(committed.Benchmarks)
+	got := minNs(fresh)
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark in %s matches %q\n", path, pattern)
+		return 2
+	}
+
+	var names []string
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	code := 0
+	fmt.Printf("%-32s %14s %14s %8s\n", "benchmark", "committed ns", "fresh ns", "delta")
+	for _, name := range names {
+		cur, ok := got[name]
+		if !ok {
+			fmt.Printf("%-32s %14.0f %14s %8s  FAIL (missing from fresh run)\n", name, base[name], "-", "-")
+			code = 1
+			continue
+		}
+		delta := cur/base[name] - 1
+		verdict := "ok"
+		if delta > threshold {
+			verdict = fmt.Sprintf("FAIL (> +%.0f%%)", threshold*100)
+			code = 1
+		}
+		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%%  %s\n", name, base[name], cur, delta*100, verdict)
+	}
+	return code
 }
 
 // parse reads bench text, returning the benchmark records and the

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeGateFile(t *testing.T, benches []Benchmark) string {
+	t.Helper()
+	raw, err := json.Marshal(Report{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gate.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGate(t *testing.T) {
+	committed := []Benchmark{
+		{Name: "BenchmarkLibrarySweepCell", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "BenchmarkServerSteadyState", Metrics: map[string]float64{"ns/op": 2000}},
+		{Name: "BenchmarkUngated", Metrics: map[string]float64{"ns/op": 1}},
+	}
+	path := writeGateFile(t, committed)
+	const pattern = "BenchmarkLibrarySweepCell$|BenchmarkServerSteadyState"
+
+	fresh := func(sweep, steady float64) []Benchmark {
+		return []Benchmark{
+			{Name: "BenchmarkLibrarySweepCell", Metrics: map[string]float64{"ns/op": sweep}},
+			{Name: "BenchmarkServerSteadyState", Metrics: map[string]float64{"ns/op": steady}},
+		}
+	}
+
+	if code := gate(fresh(1100, 2100), path, pattern, 0.15); code != 0 {
+		t.Errorf("within-threshold run exited %d, want 0", code)
+	}
+	if code := gate(fresh(1200, 2000), path, pattern, 0.15); code != 1 {
+		t.Errorf("20%% regression exited %d, want 1", code)
+	}
+	// The ungated benchmark regressing arbitrarily must not trip it.
+	over := append(fresh(1000, 2000), Benchmark{Name: "BenchmarkUngated", Metrics: map[string]float64{"ns/op": 1e9}})
+	if code := gate(over, path, pattern, 0.15); code != 0 {
+		t.Errorf("ungated regression exited %d, want 0", code)
+	}
+	// A gated benchmark vanishing from the fresh run fails the gate.
+	if code := gate(fresh(1000, 2000)[:1], path, pattern, 0.15); code != 1 {
+		t.Errorf("missing gated benchmark exited %d, want 1", code)
+	}
+	// Duplicate runs collapse to their minimum: one slow rerun of an
+	// otherwise-fast benchmark is noise, not a regression.
+	noisy := append(fresh(1000, 2000),
+		Benchmark{Name: "BenchmarkLibrarySweepCell", Metrics: map[string]float64{"ns/op": 5000}})
+	if code := gate(noisy, path, pattern, 0.15); code != 0 {
+		t.Errorf("noisy rerun exited %d, want 0", code)
+	}
+	// Config errors are distinguishable from regressions.
+	if code := gate(fresh(1000, 2000), path, "(", 0.15); code != 2 {
+		t.Errorf("bad regexp exited %d, want 2", code)
+	}
+	if code := gate(fresh(1000, 2000), path, "NoSuchBenchmark", 0.15); code != 2 {
+		t.Errorf("pattern matching nothing committed exited %d, want 2", code)
+	}
+	if code := gate(fresh(1000, 2000), filepath.Join(t.TempDir(), "absent.json"), pattern, 0.15); code != 2 {
+		t.Errorf("missing gate file exited %d, want 2", code)
+	}
+}

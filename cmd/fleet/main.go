@@ -1,0 +1,126 @@
+// Command fleet runs the sharded-cluster experiment: a fleet of
+// tertiary libraries behind a routing tier, swept across (arrival
+// rate, shard count, routing policy) cells. Three sections:
+//
+//   - the routing grid, comparing round-robin, least-loaded and
+//     mounted-cartridge affinity at every rate × shard count;
+//   - the locality crossover, holding the cluster fixed and raising
+//     the stream's mount locality until affinity routing overtakes
+//     pure load balancing;
+//   - the degraded cluster, where cartridge loss on a replicated
+//     store forces cross-shard replica reads.
+//
+// Usage:
+//
+//	fleet
+//	fleet -requests 800 -seed 7 -workers 4
+//
+// Runs are fully deterministic: the same flags produce the same
+// output at any worker count.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"serpentine/internal/fault"
+	"serpentine/internal/fleet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fleet: ")
+	var (
+		requests = flag.Int("requests", 400, "requests per cell")
+		drives   = flag.Int("drives", 2, "transport pool size per shard")
+		batch    = flag.Int("batch", 16, "batch limit per mount")
+		tapes    = flag.Int("tapes", 16, "cartridge count across the cluster")
+		objects  = flag.Int("objects", 128, "objects per cartridge")
+		replicas = flag.Int("replicas", 2, "copies per object, dealt to distinct cartridges")
+		loss     = flag.Float64("loss", 0.05, "cartridge-loss rate in the degraded section")
+		seed     = flag.Int64("seed", 1, "workload and routing seed")
+		workers  = flag.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	base := fleet.SweepConfig{
+		TapeCount:  *tapes,
+		Objects:    *objects,
+		Replicas:   *replicas,
+		Drives:     *drives,
+		BatchLimit: *batch,
+		Requests:   *requests,
+		Seed:       *seed,
+		Workers:    *workers,
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "# fleet: %d requests/cell, %d drives/shard, batch %d, %d tapes × %d objects × %d copies, seed %d\n\n",
+		*requests, *drives, *batch, *tapes, *objects, *replicas, *seed)
+
+	// Section 1: the routing grid at locality 0. Every policy sees the
+	// same per-cell stream; shard counts share one cluster store.
+	fmt.Fprintln(w, "## routing grid (locality 0)")
+	fmt.Fprintln(w)
+	grid, err := fleet.Sweep(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fleet.WriteFleet(w, grid); err != nil {
+		log.Fatal(err)
+	}
+
+	// Section 2: the locality crossover. Fixed cluster, rising chance
+	// that a request re-targets the previous cartridge; affinity
+	// routing converts those runs into batch extensions while
+	// least-loaded keeps splitting them across shards.
+	fmt.Fprintln(w, "## locality crossover (rate 240/h, 4 shards)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%8s %-13s %6s %6s %8s %12s %9s\n",
+		"locality", "router", "served", "shed", "IO/h", "mean lat (s)", "affinity%")
+	for _, loc := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
+		cfg := base
+		cfg.RatesPerHour = []float64{240}
+		cfg.ShardCounts = []int{4}
+		cfg.Routers = []fleet.Router{fleet.LeastLoaded{}, fleet.Affinity{}}
+		cfg.Locality = loc
+		cells, err := fleet.Sweep(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range cells {
+			m := c.Metrics
+			ioPerHour := 0.0
+			if m.Makespan > 0 {
+				ioPerHour = float64(m.Served) / m.Makespan * 3600
+			}
+			affinity := 0.0
+			if m.Offered > 0 {
+				affinity = float64(m.AffinityHits) / float64(m.Offered) * 100
+			}
+			fmt.Fprintf(w, "%8.2f %-13s %6d %6d %8.1f %12.0f %9.1f\n",
+				loc, c.Router, m.Served, m.Shed, ioPerHour, m.MeanLatency, affinity)
+		}
+	}
+	fmt.Fprintln(w)
+
+	// Section 3: the degraded cluster. Cartridge loss on a 2-replica
+	// store; a shard losing its copy reroutes reads to the replica's
+	// shard instead of failing them.
+	fmt.Fprintf(w, "## degraded cluster (cartridge loss %g/mount, 2 replicas)\n\n", *loss)
+	faulted := base
+	faulted.RatesPerHour = []float64{120}
+	faulted.ShardCounts = []int{2, 4}
+	faulted.Lifecycle = fault.LifecycleConfig{CartridgeLossRate: *loss}
+	cells, err := fleet.Sweep(faulted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fleet.WriteFleet(w, cells); err != nil {
+		log.Fatal(err)
+	}
+}

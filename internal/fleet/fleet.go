@@ -1,0 +1,526 @@
+// Package fleet scales the tertiary library horizontally: a cluster
+// of shard libraries behind a deterministic routing tier. Placement
+// deals cartridges round-robin across shards at build time and spreads
+// each object's replicas onto consecutive cartridges — and therefore
+// across shards — so a shard that loses its copy of an object degrades
+// reads to a sister shard instead of failing them. Routing policies
+// are pluggable Routers scored per request over the shards holding a
+// live copy, with probes (queue depth, mounted cartridges, brownout
+// headroom) supplied by each shard's incremental run loop
+// (tertiary.Runner).
+//
+// Everything is driven by one virtual clock and contains no
+// randomness beyond the seeded workload and the seeded routing
+// tie-break, so a fleet run — like a single-library run — is a pure
+// function of its configuration. Sweep exploits that the same way
+// tertiary.Sweep does: per-cell derived seeds make the output
+// byte-identical at any worker count.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"serpentine/internal/fault"
+	"serpentine/internal/geometry"
+	"serpentine/internal/obs"
+	"serpentine/internal/server"
+	"serpentine/internal/sim"
+	"serpentine/internal/tertiary"
+)
+
+// StoreConfig describes the cluster-wide store the fleet is built
+// over. Cartridge t (serial 3000+t, the single-library sweeps'
+// numbering) lives on shard t mod Shards; copy k of object (t, o)
+// lives on cartridge (t+k) mod TapeCount at the same catalog slot,
+// offset k extents in — every copy on a distinct cartridge, and with
+// Replicas > 1 usually on a distinct shard.
+type StoreConfig struct {
+	// Profile is the drive/cartridge format; zero value selects the
+	// DLT4000.
+	Profile geometry.Params
+	// Shards is the library count; 0 selects 1. Must not exceed
+	// TapeCount (every shard owns at least one cartridge).
+	Shards int
+	// TapeCount and Objects shape the store: cartridges across the
+	// whole fleet and objects per cartridge; 0 select 8 and 256.
+	// ObjectSegments is the extent length per object; 0 selects 32.
+	TapeCount      int
+	Objects        int
+	ObjectSegments int
+	// Replicas is the copy count per object; 0 and 1 mean no
+	// replication. Must not exceed TapeCount, and the catalog stride
+	// must fit Replicas copies.
+	Replicas int
+}
+
+// copyGroup is one shard's copies of an object: the shard index and
+// the cartridge serials holding the copies there, in copy order. The
+// first group of an object's directory entry is the shard holding
+// copy 0 — the primary shard.
+type copyGroup struct {
+	shard   int
+	serials []int64
+}
+
+// Fleet is a built cluster: per-shard base libraries sharing their
+// read-only stores, per-shard replica placements, and the routing
+// directory mapping every object to the shards holding its copies. A
+// Fleet is immutable after New; Run clones per-shard libraries for
+// each run, so one Fleet serves concurrent runs (the sweep's cells).
+type Fleet struct {
+	cfg        StoreConfig
+	bases      []*tertiary.Library
+	placements []*tertiary.Placement
+	tapes      [][]int64
+	dir        map[string][]copyGroup
+}
+
+// New builds the fleet store: generates every cartridge, deals them
+// across shards, builds each shard's catalog and same-shard replica
+// placement, and indexes every object's copies for the routing tier.
+func New(cfg StoreConfig) (*Fleet, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.TapeCount <= 0 {
+		cfg.TapeCount = 8
+	}
+	if cfg.Objects <= 0 {
+		cfg.Objects = 256
+	}
+	if cfg.ObjectSegments <= 0 {
+		cfg.ObjectSegments = 32
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Profile.Tracks == 0 {
+		cfg.Profile = geometry.DLT4000()
+	}
+	if cfg.Shards > cfg.TapeCount {
+		return nil, fmt.Errorf("fleet: %d shards need at least as many cartridges, have %d", cfg.Shards, cfg.TapeCount)
+	}
+	if cfg.Replicas > cfg.TapeCount {
+		return nil, fmt.Errorf("fleet: replication factor %d exceeds %d cartridges", cfg.Replicas, cfg.TapeCount)
+	}
+
+	// Strides are per cartridge: each generated tape has its own
+	// segment count (serial-seeded manufacturing variation), exactly
+	// as the single-library sweeps lay their stores out. Copy k of an
+	// object sits at slot k inside the holding tape's own stride, so
+	// every copy fits whatever that tape's length turned out to be.
+	strides := make([]int, cfg.TapeCount)
+	for t := 0; t < cfg.TapeCount; t++ {
+		tape, err := geometry.Generate(cfg.Profile, int64(3000+t))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: tape %d: %w", 3000+t, err)
+		}
+		strides[t] = tape.Segments() / cfg.Objects
+		if strides[t] < cfg.Replicas*cfg.ObjectSegments {
+			return nil, fmt.Errorf("fleet: %d objects × %d copies of %d segments overflow tape %d",
+				cfg.Objects, cfg.Replicas, cfg.ObjectSegments, 3000+t)
+		}
+	}
+
+	f := &Fleet{
+		cfg:        cfg,
+		bases:      make([]*tertiary.Library, cfg.Shards),
+		placements: make([]*tertiary.Placement, cfg.Shards),
+		tapes:      make([][]int64, cfg.Shards),
+		dir:        make(map[string][]copyGroup, cfg.TapeCount*cfg.Objects),
+	}
+	serial := func(t int) int64 { return int64(3000 + t) }
+	for t := 0; t < cfg.TapeCount; t++ {
+		s := t % cfg.Shards
+		f.tapes[s] = append(f.tapes[s], serial(t))
+	}
+
+	catalogs := make([]*tertiary.Catalog, cfg.Shards)
+	for s := range catalogs {
+		catalogs[s] = tertiary.NewCatalog()
+	}
+	for t := 0; t < cfg.TapeCount; t++ {
+		for o := 0; o < cfg.Objects; o++ {
+			id := objectID(t, o)
+			var groups []copyGroup
+			// reps collects, per shard, the same-shard replica extents
+			// behind the shard's catalog copy.
+			var reps map[int][]tertiary.Object
+			for k := 0; k < cfg.Replicas; k++ {
+				tk := (t + k) % cfg.TapeCount
+				sk := tk % cfg.Shards
+				obj := tertiary.Object{
+					ID:       id,
+					Tape:     serial(tk),
+					Start:    o*strides[tk] + k*cfg.ObjectSegments,
+					Segments: cfg.ObjectSegments,
+				}
+				gi := -1
+				for j := range groups {
+					if groups[j].shard == sk {
+						gi = j
+						break
+					}
+				}
+				if gi < 0 {
+					// First copy on this shard: the shard's catalog
+					// entry.
+					groups = append(groups, copyGroup{shard: sk, serials: []int64{obj.Tape}})
+					if err := catalogs[sk].Put(obj); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				// A later copy landing on a shard that already has
+				// one: a same-shard replica behind its catalog entry.
+				groups[gi].serials = append(groups[gi].serials, obj.Tape)
+				if reps == nil {
+					reps = make(map[int][]tertiary.Object, 1)
+				}
+				reps[sk] = append(reps[sk], tertiary.Object{
+					Tape: obj.Tape, Start: obj.Start, Segments: obj.Segments,
+				})
+			}
+			for _, g := range groups {
+				if rs := reps[g.shard]; len(rs) > 0 {
+					if f.placements[g.shard] == nil {
+						f.placements[g.shard] = tertiary.NewPlacement()
+					}
+					if err := f.placements[g.shard].Put(id, rs...); err != nil {
+						return nil, err
+					}
+				}
+			}
+			f.dir[id] = groups
+		}
+	}
+
+	for s := 0; s < cfg.Shards; s++ {
+		base, err := tertiary.New(tertiary.Config{
+			Profile:   cfg.Profile,
+			Tapes:     f.tapes[s],
+			Placement: f.placements[s],
+		}, catalogs[s])
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d store: %w", s, err)
+		}
+		f.bases[s] = base
+	}
+	return f, nil
+}
+
+// Shards returns the cluster size.
+func (f *Fleet) Shards() int { return len(f.bases) }
+
+// objectID matches the single-library sweeps' naming, so a one-shard
+// fleet's catalog is identical to tertiary.Sweep's.
+func objectID(tape, obj int) string {
+	return "t" + strconv.Itoa(tape) + "/o" + strconv.Itoa(obj)
+}
+
+// RunConfig describes one fleet run: the per-shard serving
+// configuration plus the routing tier's policy and seed. Schedulers
+// are not pluggable here — every shard runs the paper's Auto policy
+// (use tertiary.Sweep for the scheduler axis).
+type RunConfig struct {
+	// Drives is the transport count per shard; 0 selects 1. MountSec
+	// and UnmountSec default to 30 and 15 as in tertiary.Config.
+	Drives     int
+	MountSec   float64
+	UnmountSec float64
+	// BatchLimit, Policy, WindowSec, QueueCap, Retry and DeadlineSec
+	// pass through to every shard's Config.
+	BatchLimit  int
+	Policy      server.BatchPolicy
+	WindowSec   float64
+	QueueCap    int
+	Retry       sim.RetryPolicy
+	DeadlineSec float64
+	// Lifecycle arms component lifecycle faults on every shard; shard
+	// s derives its seed as Lifecycle.Seed + 97·s so shards fail
+	// independently but reproducibly.
+	Lifecycle fault.LifecycleConfig
+	// Router picks a shard per request; nil selects LeastLoaded.
+	Router Router
+	// Seed drives the routing tie-break (see tieBreak); it does not
+	// reseed the shards or the workload.
+	Seed int64
+	// Reg, when non-nil, receives every shard's metrics re-keyed
+	// under shard="N" (Registry.MergeLabeled) plus the fleet's own
+	// routing counters, after the run completes.
+	Reg *obs.Registry
+	// Labels are added to the fleet-level series and passed to every
+	// shard; the sweep passes the cell coordinates here.
+	Labels []obs.Label
+	// Spans, when non-nil, records the run as a fleet root span with
+	// every shard's run span nested under it, each shard on its own
+	// lane block (shard s starts at lane 1 + s·(1+Drives)).
+	Spans *obs.Tracer
+}
+
+// Metrics summarizes a fleet run across its shards.
+type Metrics struct {
+	// Offered is the request count; Served + Failed + Rejected + Shed
+	// (summed over shards) partitions it — the conservation invariant
+	// FuzzFleetRouting checks.
+	Offered  int
+	Served   int
+	Failed   int
+	Rejected int
+	Shed     int
+	// AffinityHits counts requests routed to a shard that already had
+	// one of the object's cartridges in a drive at decision time.
+	AffinityHits int
+	// CrossShardReads counts requests routed off their primary shard
+	// because every primary-shard copy was lost — the replica axis
+	// paying off across the cluster.
+	CrossShardReads int
+	// Unroutable counts requests whose every copy was lost; they are
+	// still dispatched to the primary shard so its accounting (a
+	// failure or a redirect) keeps the partition exact.
+	Unroutable int
+	// Makespan is the latest shard makespan; MeanLatency the
+	// served-weighted mean across shards; MaxLatency the cluster-wide
+	// worst case.
+	Makespan    float64
+	MeanLatency float64
+	MaxLatency  float64
+}
+
+// ShardResult is one shard's share of a fleet run.
+type ShardResult struct {
+	// Routed is how many requests the routing tier sent here.
+	Routed int
+	// Metrics and Completions are the shard's own run outcome,
+	// bit-identical to what a standalone Library.Run over the same
+	// request subsequence would produce.
+	Metrics     tertiary.Metrics
+	Completions []tertiary.Completion
+}
+
+// decision is one routing outcome.
+type decision struct {
+	shard      int
+	affinity   bool
+	cross      bool
+	unroutable bool
+}
+
+// Run serves the stream through the routing tier: every shard's event
+// loop advances in lockstep with the arrival clock, the router scores
+// the shards holding a live copy of each request's object, and the
+// request joins the winner's arrival stream. Requests must be sorted
+// by arrival time. The run is fully deterministic: same fleet, config
+// and stream — same result, bit for bit.
+func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Metrics, error) {
+	router := cfg.Router
+	if router == nil {
+		router = LeastLoaded{}
+	}
+	drives := cfg.Drives
+	if drives <= 0 {
+		drives = 1
+	}
+	for i, r := range stream {
+		if math.IsNaN(r.Arrival) {
+			return nil, Metrics{}, fmt.Errorf("fleet: request %d arrives at NaN", i)
+		}
+	}
+
+	var trace *obs.TraceHandle
+	var root *obs.SpanHandle
+	if cfg.Spans != nil {
+		trace = cfg.Spans.StartTrace()
+		root = trace.Start("fleet", nil, 0).
+			Attr("router", router.Name()).
+			AttrInt("shards", len(f.bases)).
+			AttrInt("drives", drives)
+	}
+	var regs []*obs.Registry
+	if cfg.Reg != nil {
+		regs = make([]*obs.Registry, len(f.bases))
+		for s := range regs {
+			regs[s] = obs.NewRegistry()
+		}
+	}
+
+	runners := make([]*tertiary.Runner, len(f.bases))
+	for s := range runners {
+		lc := cfg.Lifecycle
+		if lc.Enabled() {
+			lc.Seed += int64(s) * 97
+		}
+		var reg *obs.Registry
+		if regs != nil {
+			reg = regs[s]
+		}
+		lib := f.bases[s].Clone(tertiary.Config{
+			Profile:     f.cfg.Profile,
+			Tapes:       f.tapes[s],
+			Drives:      drives,
+			MountSec:    cfg.MountSec,
+			UnmountSec:  cfg.UnmountSec,
+			BatchLimit:  cfg.BatchLimit,
+			Policy:      cfg.Policy,
+			WindowSec:   cfg.WindowSec,
+			QueueCap:    cfg.QueueCap,
+			Retry:       cfg.Retry,
+			Lifecycle:   lc,
+			Placement:   f.placements[s],
+			DeadlineSec: cfg.DeadlineSec,
+			Reg:         reg,
+			Labels:      cfg.Labels,
+			SpanTrace:   trace,
+			SpanParent:  root,
+			Lane:        1 + s*(1+drives),
+		})
+		r, err := lib.StartRun()
+		if err != nil {
+			return nil, Metrics{}, fmt.Errorf("fleet: shard %d: %w", s, err)
+		}
+		runners[s] = r
+	}
+
+	res := make([]ShardResult, len(f.bases))
+	m := Metrics{Offered: len(stream)}
+	for i := 0; i < len(stream); {
+		at := stream[i].Arrival
+		for s := range runners {
+			if err := runners[s].AdvanceTo(at); err != nil {
+				return nil, Metrics{}, fmt.Errorf("fleet: shard %d: %w", s, err)
+			}
+		}
+		// Route every request carrying this timestamp before advancing
+		// again: a shard's event loop must see all of an instant's
+		// arrivals before it dispatches at that instant, exactly as a
+		// monolithic Run would.
+		for ; i < len(stream) && stream[i].Arrival == at; i++ {
+			d, err := f.route(router, cfg.Seed, i, stream[i], runners)
+			if err != nil {
+				return nil, Metrics{}, err
+			}
+			if d.affinity {
+				m.AffinityHits++
+			}
+			if d.cross {
+				m.CrossShardReads++
+			}
+			if d.unroutable {
+				m.Unroutable++
+			}
+			if err := runners[d.shard].Offer(stream[i]); err != nil {
+				return nil, Metrics{}, fmt.Errorf("fleet: shard %d: %w", d.shard, err)
+			}
+			res[d.shard].Routed++
+		}
+	}
+
+	var latSum float64
+	for s := range runners {
+		comps, sm, err := runners[s].Finish()
+		if err != nil {
+			return nil, Metrics{}, fmt.Errorf("fleet: shard %d: %w", s, err)
+		}
+		res[s].Metrics = sm
+		res[s].Completions = comps
+		m.Served += sm.Served
+		m.Failed += sm.Failed
+		m.Rejected += sm.Rejected
+		m.Shed += sm.Shed
+		if sm.Makespan > m.Makespan {
+			m.Makespan = sm.Makespan
+		}
+		if sm.MaxLatency > m.MaxLatency {
+			m.MaxLatency = sm.MaxLatency
+		}
+		latSum += sm.MeanLatency * float64(sm.Served)
+	}
+	if m.Served > 0 {
+		m.MeanLatency = latSum / float64(m.Served)
+	}
+	if root != nil {
+		root.AttrInt("served", m.Served)
+		root.End(m.Makespan)
+	}
+	if cfg.Reg != nil {
+		for s, reg := range regs {
+			cfg.Reg.MergeLabeled(reg, obs.L("shard", strconv.Itoa(s)))
+		}
+		cfg.Reg.Counter("fleet_offered_total", cfg.Labels...).Add(int64(m.Offered))
+		cfg.Reg.Counter("fleet_affinity_hits_total", cfg.Labels...).Add(int64(m.AffinityHits))
+		cfg.Reg.Counter("fleet_cross_shard_reads_total", cfg.Labels...).Add(int64(m.CrossShardReads))
+		cfg.Reg.Counter("fleet_unroutable_total", cfg.Labels...).Add(int64(m.Unroutable))
+		for s := range res {
+			labels := append(append([]obs.Label(nil), cfg.Labels...), obs.L("shard", strconv.Itoa(s)))
+			cfg.Reg.Counter("fleet_routed_total", labels...).Add(int64(res[s].Routed))
+		}
+	}
+	return res, m, nil
+}
+
+// route scores the shards holding a live copy of the request's object
+// and picks the best, breaking score ties by a pure function of
+// (seed, request ordinal).
+func (f *Fleet) route(router Router, seed int64, ordinal int, req tertiary.Request, runners []*tertiary.Runner) (decision, error) {
+	groups := f.dir[req.ObjectID]
+	if len(groups) == 0 {
+		return decision{}, fmt.Errorf("fleet: request for unknown object %q", req.ObjectID)
+	}
+	cands := make([]Candidate, 0, len(groups))
+	primaryAlive := false
+	for gi, g := range groups {
+		r := runners[g.shard]
+		alive, mounted := false, false
+		for _, serial := range g.serials {
+			if r.CartridgeLost(serial) {
+				continue
+			}
+			alive = true
+			if r.Mounted(serial) {
+				mounted = true
+			}
+		}
+		if !alive {
+			continue
+		}
+		if gi == 0 {
+			primaryAlive = true
+		}
+		cands = append(cands, Candidate{
+			Shard:      g.shard,
+			QueueDepth: r.QueueDepth(),
+			Headroom:   r.Headroom(),
+			Mounted:    mounted,
+			Primary:    gi == 0,
+		})
+	}
+	if len(cands) == 0 {
+		// Every copy is lost. Dispatch to the primary shard anyway:
+		// the shard fails the request in its own accounting, so
+		// Served+Failed+Rejected+Shed still partitions the offered
+		// stream.
+		return decision{shard: groups[0].shard, unroutable: true}, nil
+	}
+	scores := make([]float64, len(cands))
+	router.Score(ordinal, len(runners), cands, scores)
+	ties := []int{0}
+	best := scores[0]
+	for j := 1; j < len(scores); j++ {
+		switch {
+		case scores[j] > best:
+			best = scores[j]
+			ties = ties[:1]
+			ties[0] = j
+		case scores[j] == best:
+			ties = append(ties, j)
+		}
+	}
+	pick := cands[ties[tieBreak(seed, ordinal, len(ties))]]
+	return decision{
+		shard:    pick.Shard,
+		affinity: pick.Mounted,
+		cross:    !pick.Primary && !primaryAlive,
+	}, nil
+}

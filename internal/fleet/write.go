@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteFleet renders the fleet sweep: one block per arrival rate, one
+// row per (shards, router), with the partition counters, delivered
+// throughput, latency, the routing-quality counters, and the load
+// imbalance (the busiest shard's share of the stream relative to a
+// perfectly even deal; 1.00 is perfect balance). Fixed formatting
+// keeps the table byte-deterministic.
+func WriteFleet(w io.Writer, cells []Cell) error {
+	var rates []float64
+	seen := make(map[float64]bool)
+	for _, c := range cells {
+		if !seen[c.RatePerHour] {
+			seen[c.RatePerHour] = true
+			rates = append(rates, c.RatePerHour)
+		}
+	}
+	for _, rate := range rates {
+		if _, err := fmt.Fprintf(w, "# arrival rate %g/h\n%6s %-13s %6s %6s %6s %6s %8s %12s %11s %9s %6s %9s\n",
+			rate, "shards", "router", "served", "failed", "reject", "shed", "IO/h",
+			"mean lat (s)", "max lat (s)", "affinity%", "xshard", "imbalance"); err != nil {
+			return err
+		}
+		for _, c := range cells {
+			if c.RatePerHour != rate {
+				continue
+			}
+			m := c.Metrics
+			ioPerHour := 0.0
+			if m.Makespan > 0 {
+				ioPerHour = float64(m.Served) / m.Makespan * 3600
+			}
+			affinity := 0.0
+			if m.Offered > 0 {
+				affinity = float64(m.AffinityHits) / float64(m.Offered) * 100
+			}
+			imbalance := 0.0
+			if m.Offered > 0 && c.Shards > 0 {
+				maxRouted := 0
+				for _, r := range c.Routed {
+					if r > maxRouted {
+						maxRouted = r
+					}
+				}
+				imbalance = float64(maxRouted) * float64(c.Shards) / float64(m.Offered)
+			}
+			if _, err := fmt.Fprintf(w, "%6d %-13s %6d %6d %6d %6d %8.1f %12.0f %11.0f %9.1f %6d %9.2f\n",
+				c.Shards, c.Router, m.Served, m.Failed, m.Rejected, m.Shed, ioPerHour,
+				m.MeanLatency, m.MaxLatency, affinity, m.CrossShardReads, imbalance); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -94,6 +94,83 @@ func splitKey(key string) (name, labelBlock string) {
 	return key, ""
 }
 
+// parseLabelBlock parses a rendered label block back into labels: the
+// inverse of the block metricKey emits, honoring exactly the escapes
+// promEscape produces (`\\`, `\"`, `\n`). An empty block parses to
+// nil. It reports false on anything metricKey could not have written.
+func parseLabelBlock(block string) ([]Label, bool) {
+	if block == "" {
+		return nil, true
+	}
+	if len(block) < 2 || block[0] != '{' || block[len(block)-1] != '}' {
+		return nil, false
+	}
+	body := block[1 : len(block)-1]
+	if body == "" {
+		return nil, false // metricKey renders no block for zero labels
+	}
+	var labels []Label
+	for len(body) > 0 {
+		eq := strings.Index(body, `="`)
+		if eq <= 0 {
+			return nil, false
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for {
+			if i >= len(rest) {
+				return nil, false // unterminated value
+			}
+			c := rest[i]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, false
+				}
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, false
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		body = rest[i+1:]
+		if len(body) > 0 {
+			if body[0] != ',' || len(body) == 1 {
+				return nil, false
+			}
+			body = body[1:]
+		}
+	}
+	return labels, true
+}
+
+// relabelKey returns the series identity with the extra labels added
+// to its label set. Keys that fail to parse (never produced by
+// metricKey) are returned unchanged.
+func relabelKey(key string, extra []Label) string {
+	name, block := splitKey(key)
+	labels, ok := parseLabelBlock(block)
+	if !ok {
+		return key
+	}
+	return metricKey(name, append(labels, extra...))
+}
+
 // Counter is a monotonically increasing count.
 type Counter struct {
 	mu sync.Mutex
@@ -242,8 +319,27 @@ func (r *Registry) Trace() *Trace {
 // deterministic for the series that do. b's trace is not merged
 // (traces are per-run diagnostics, not aggregates).
 func (r *Registry) Merge(b *Registry) {
+	r.mergeKeyed(b, nil)
+}
+
+// MergeLabeled folds b into r like Merge, but re-keys every series
+// with the extra labels added first — the fleet folds each shard's
+// registry into the cell registry under shard="N", so identically
+// named shard series land on distinct cluster series instead of
+// summing into mush. The extra keys should be new dimensions: adding
+// a key a series already carries produces a duplicate-key label block.
+// With no extra labels it is exactly Merge.
+func (r *Registry) MergeLabeled(b *Registry, extra ...Label) {
+	r.mergeKeyed(b, extra)
+}
+
+func (r *Registry) mergeKeyed(b *Registry, extra []Label) {
 	if b == nil || b == r {
 		return
+	}
+	rekey := func(k string) string { return k }
+	if len(extra) > 0 {
+		rekey = func(k string) string { return relabelKey(k, extra) }
 	}
 	b.mu.Lock()
 	type hsnap struct {
@@ -265,13 +361,13 @@ func (r *Registry) Merge(b *Registry) {
 	b.mu.Unlock()
 
 	for k, v := range counts {
-		r.counterByKey(k).Add(v)
+		r.counterByKey(rekey(k)).Add(v)
 	}
 	for k, v := range gauges {
-		r.gaugeByKey(k).Add(v)
+		r.gaugeByKey(rekey(k)).Add(v)
 	}
 	for _, hs := range hists {
-		r.histogramByKey(hs.key).merge(hs.h)
+		r.histogramByKey(rekey(hs.key)).merge(hs.h)
 	}
 }
 

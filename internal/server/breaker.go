@@ -72,6 +72,16 @@ func (b *Breaker) SetLive(n int) {
 // Live returns the last reported live-drive count.
 func (b *Breaker) Live() int { return b.live }
 
+// Headroom returns the live capacity fraction — live drives over
+// configured drives, in [0, 1]. It is the admission state rendered as
+// a routing signal: a fleet router that scales a shard's load score by
+// 1/Headroom sends less work to a shard whose breaker is browning out
+// and none to one that is open, so cluster admission and per-shard
+// admission act on the same capacity picture.
+func (b *Breaker) Headroom() float64 {
+	return float64(b.live) / float64(b.configured)
+}
+
 // State derives the breaker position from the live fraction.
 func (b *Breaker) State() BreakerState {
 	switch {

@@ -264,7 +264,7 @@ func OutageSweep(cfg OutageConfig) ([]OutageCell, error) {
 				if mttf > 0 {
 					lc.DriveMTTRSec = mttr
 				}
-				lib := base.clone(Config{
+				lib := base.Clone(Config{
 					Profile:     profile,
 					Tapes:       serials,
 					Drives:      drives,

@@ -84,12 +84,21 @@ type runState struct {
 	fetches      map[int64]int
 	requeues     []requeueBatch
 	hasDeadlines bool
-	reg          *obs.Registry
-	tr           *obs.Trace
-	trace        *obs.TraceHandle
-	root         *obs.SpanHandle
-	done         []Completion
-	m            Metrics
+
+	// Event-loop clock. now is the current virtual time; boundary
+	// reports whether now is a FixedWindow boundary. Keeping the clock
+	// on the state (instead of locals in Run) lets stepTo advance the
+	// loop incrementally, which is how a fleet Runner embeds the shard
+	// between externally routed arrivals.
+	now      float64
+	boundary bool
+	finished bool
+	reg      *obs.Registry
+	tr       *obs.Trace
+	trace    *obs.TraceHandle
+	root     *obs.SpanHandle
+	done     []Completion
+	m        Metrics
 
 	// ex is the run's one recovering executor, re-pointed at the
 	// mounted drive per size class; prob is the reusable scheduling
@@ -189,24 +198,38 @@ func (l *Library) Run(requests []Request) ([]Completion, Metrics, error) {
 	if err != nil {
 		return nil, Metrics{}, err
 	}
-
-	// Central dispatch over the shared event heap: admit arrivals up
-	// to now, hand work to every idle drive, then advance the clock
-	// to the next drive completion, arrival, or window boundary.
-	now, boundary := 0.0, true
-	s.admit(now)
-	for {
-		if err := s.dispatch(now, boundary); err != nil {
-			return nil, Metrics{}, err
-		}
-		t, atBoundary, ok := s.nextTime(now)
-		if !ok {
-			break
-		}
-		now, boundary = t, atBoundary
-		s.wake(now)
-		s.admit(now)
+	if err := s.stepTo(math.Inf(1)); err != nil {
+		return nil, Metrics{}, err
 	}
+	return s.close()
+}
+
+// stepTo is the central dispatch over the shared event heap: wake
+// events due at the current clock, admit arrivals up to it, hand work
+// to every idle drive, then advance to the next drive completion,
+// arrival, or window boundary — stopping once the next step would land
+// after until. Each pass is idempotent at a fixed clock, so calling
+// stepTo repeatedly (the incremental Runner does, with new arrivals
+// offered in between) replays the exact event sequence one monolithic
+// stepTo(+Inf) produces.
+func (s *runState) stepTo(until float64) error {
+	for {
+		s.wake(s.now)
+		s.admit(s.now)
+		if err := s.dispatch(s.now, s.boundary); err != nil {
+			return err
+		}
+		t, boundary, ok := s.nextTime(s.now)
+		if !ok || t > until {
+			return nil
+		}
+		s.now, s.boundary = t, boundary
+	}
+}
+
+// close checks no request was stranded and folds up the run summary.
+func (s *runState) close() ([]Completion, Metrics, error) {
+	s.finished = true
 	if stranded := s.q.len() + s.adm.Len(); stranded > 0 || s.next < len(s.arrivals) {
 		return nil, Metrics{}, fmt.Errorf("tertiary: internal: %d requests stranded at end of run",
 			stranded+len(s.arrivals)-s.next)
@@ -215,29 +238,37 @@ func (l *Library) Run(requests []Request) ([]Completion, Metrics, error) {
 	return s.done, s.m, nil
 }
 
+// resolve validates one request against the catalog and the library's
+// deadline policy, returning it as a pending entry.
+func (l *Library) resolve(i int, r Request) (pending, bool, error) {
+	o, ok := l.catalog.Get(r.ObjectID)
+	if !ok {
+		return pending{}, false, fmt.Errorf("tertiary: request for unknown object %q", r.ObjectID)
+	}
+	if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) {
+		return pending{}, false, fmt.Errorf("tertiary: request %d arrives at %g", i, r.Arrival)
+	}
+	if r.Deadline < 0 || math.IsNaN(r.Deadline) || math.IsInf(r.Deadline, 0) {
+		return pending{}, false, fmt.Errorf("tertiary: request %d with deadline %g", i, r.Deadline)
+	}
+	if r.Deadline == 0 && l.cfg.DeadlineSec > 0 {
+		r.Deadline = r.Arrival + l.cfg.DeadlineSec
+	}
+	return pending{req: r, obj: o}, r.Deadline > 0, nil
+}
+
 // newRun resolves and validates the request stream and sets up the
 // event-loop state.
 func (l *Library) newRun(requests []Request) (*runState, error) {
 	arrivals := make([]pending, 0, len(requests))
 	hasDeadlines := false
 	for i, r := range requests {
-		o, ok := l.catalog.Get(r.ObjectID)
-		if !ok {
-			return nil, fmt.Errorf("tertiary: request for unknown object %q", r.ObjectID)
+		p, dl, err := l.resolve(i, r)
+		if err != nil {
+			return nil, err
 		}
-		if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) {
-			return nil, fmt.Errorf("tertiary: request %d arrives at %g", i, r.Arrival)
-		}
-		if r.Deadline < 0 || math.IsNaN(r.Deadline) || math.IsInf(r.Deadline, 0) {
-			return nil, fmt.Errorf("tertiary: request %d with deadline %g", i, r.Deadline)
-		}
-		if r.Deadline == 0 && l.cfg.DeadlineSec > 0 {
-			r.Deadline = r.Arrival + l.cfg.DeadlineSec
-		}
-		if r.Deadline > 0 {
-			hasDeadlines = true
-		}
-		arrivals = append(arrivals, pending{req: r, obj: o})
+		hasDeadlines = hasDeadlines || dl
+		arrivals = append(arrivals, p)
 	}
 	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].req.Arrival < arrivals[j].req.Arrival })
 
@@ -266,6 +297,7 @@ func (l *Library) newRun(requests []Request) (*runState, error) {
 		hLatency: make(map[int64]*obs.Histogram),
 	}
 	s.hasDeadlines = hasDeadlines
+	s.now, s.boundary = 0, true
 	s.events.ev = make([]driveEvent, 0, l.cfg.Drives)
 	for i := range s.drives {
 		d := &s.drives[i]
@@ -288,14 +320,23 @@ func (l *Library) newRun(requests []Request) (*runState, error) {
 	} else {
 		s.tr = reg.Trace()
 	}
-	if l.cfg.Spans != nil {
+	if l.cfg.SpanTrace != nil {
+		s.trace = l.cfg.SpanTrace
+	} else if l.cfg.Spans != nil {
 		s.trace = l.cfg.Spans.StartTrace()
-		s.root = s.trace.Start("run", nil, 0).
+	}
+	if s.trace != nil {
+		s.root = s.trace.Start("run", l.cfg.SpanParent, 0).Lane(l.cfg.Lane).
 			Attr("scheduler", l.sched.Name()).Attr("policy", l.cfg.Policy.String()).
 			AttrInt("drives", l.cfg.Drives)
 	}
 	return s, nil
 }
+
+// laneFor is the drive's span-export lane: drives render on rows above
+// the run's own lane, offset by Config.Lane so fleet shards occupy
+// disjoint row blocks.
+func (s *runState) laneFor(d *driveState) int { return s.cfg.Lane + 1 + d.id }
 
 // admit moves every arrival with Arrival <= until through the bounded
 // admission queue into the per-cartridge backlog, shedding load once
@@ -444,7 +485,7 @@ func (s *runState) noteOutage(d *driveState) {
 	}
 	s.cDriveDn.Inc()
 	if s.trace != nil {
-		s.trace.Start("down", s.root, d.downAt).Lane(1 + d.id).End(d.repairedAt)
+		s.trace.Start("down", s.root, d.downAt).Lane(s.laneFor(d)).End(d.repairedAt)
 	}
 }
 
@@ -593,7 +634,7 @@ func (s *runState) handleDriveFail(d *driveState, t float64) {
 	}
 	s.cRescued.Add(int64(len(d.rescue)))
 	if s.trace != nil {
-		s.trace.Start("rescue", s.root, t).Lane(1+d.id).
+		s.trace.Start("rescue", s.root, t).Lane(s.laneFor(d)).
 			Attr("tape", strconv.FormatInt(d.serial, 10)).
 			AttrInt("count", len(d.rescue)).End(unloadEnd)
 	}
@@ -821,7 +862,7 @@ func (s *runState) serve(d *driveState, serial int64, now float64) (bool, error)
 	}
 	d.idle = false
 	if s.trace != nil {
-		d.curBatch = s.trace.Start("batch", s.root, now).Lane(1+d.id).
+		d.curBatch = s.trace.Start("batch", s.root, now).Lane(s.laneFor(d)).
 			Attr("tape", strconv.FormatInt(serial, 10)).AttrInt("size", len(batch))
 	}
 

@@ -230,7 +230,7 @@ func Sweep(cfg SweepConfig) ([]Cell, error) {
 				if cfg.SpanCap > 0 {
 					spans = obs.NewTracer(cfg.SpanCap)
 				}
-				lib := base.clone(Config{
+				lib := base.Clone(Config{
 					Profile:    profile,
 					Tapes:      serials,
 					Drives:     drives,
@@ -287,9 +287,14 @@ func Sweep(cfg SweepConfig) ([]Cell, error) {
 	return cells, nil
 }
 
-// clone shares the base library's read-only store (tapes, locate
-// models, catalog) under a different per-cell configuration.
-func (l *Library) clone(cfg Config) *Library {
+// Clone returns a library sharing this library's read-only store —
+// tapes, locate models, catalog — under a different configuration.
+// The sweeps use it to give every cell its own registry, tracer and
+// knobs without regenerating the tapes; the fleet uses it to give
+// every cell's shards their own labels and span lanes. The
+// configuration's Profile and Tapes must describe the shared store:
+// they are not revalidated.
+func (l *Library) Clone(cfg Config) *Library {
 	sched := cfg.Scheduler
 	if sched == nil {
 		sched = core.NewAuto()

@@ -268,6 +268,19 @@ type Config struct {
 	// attribution. Tracing is pure accounting and changes no
 	// simulated timing bit.
 	Spans *obs.Tracer
+	// SpanTrace, when non-nil, records the run's spans into this
+	// existing trace instead of starting a new one on Spans: the fleet
+	// layer passes its own trace handle so every shard's run span nests
+	// under the fleet span. SpanParent, when non-nil, becomes the run
+	// root span's parent — it must outlive the run. Zero values leave
+	// single-library tracing exactly as before.
+	SpanTrace  *obs.TraceHandle
+	SpanParent *obs.SpanHandle
+	// Lane offsets every span lane the run assigns: the run span lands
+	// on Lane, drive i on Lane+1+i. The fleet gives each shard a
+	// disjoint lane block so parallel shards render as parallel row
+	// groups; 0 (the default) keeps the historical lane numbering.
+	Lane int
 }
 
 // withDefaults resolves the zero-value fields.

@@ -21,7 +21,7 @@ func buildTwinLibrary(t *testing.T, drives, batchLimit int) (*Library, []Request
 	if err != nil {
 		t.Fatal(err)
 	}
-	lib := lib0.clone(Config{
+	lib := lib0.Clone(Config{
 		Tapes:      serials,
 		Drives:     drives,
 		BatchLimit: batchLimit,

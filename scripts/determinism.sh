@@ -1,0 +1,46 @@
+#!/bin/sh
+# determinism.sh <check> — regenerate one class of committed evidence
+# and fail on any drift. The generators are deterministic at any
+# worker count; the worker-sensitive checks prove it by generating at
+# 1 and 8 workers and comparing the outputs against each other before
+# comparing against the committed files.
+#
+#   results       every table `make results` regenerates
+#   trace         span evidence (results/trace.json, attribution.txt)
+#   availability  the lifecycle-fault sweep (results/availability.txt)
+#   fleet         the sharded-cluster sweep (results/fleet.txt)
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+case "${1:-}" in
+results)
+	make results
+	git diff --exit-code results/
+	;;
+trace)
+	go run ./cmd/trace -workers 1 -trace "$tmp/trace-1.json" -attrib "$tmp/attrib-1.txt"
+	go run ./cmd/trace -workers 8 -trace "$tmp/trace-8.json" -attrib "$tmp/attrib-8.txt"
+	cmp "$tmp/trace-1.json" "$tmp/trace-8.json"
+	cmp "$tmp/attrib-1.txt" "$tmp/attrib-8.txt"
+	cmp "$tmp/trace-1.json" results/trace.json
+	cmp "$tmp/attrib-1.txt" results/attribution.txt
+	;;
+availability)
+	go run ./cmd/outage -workers 1 >"$tmp/avail-1.txt"
+	go run ./cmd/outage -workers 8 >"$tmp/avail-8.txt"
+	cmp "$tmp/avail-1.txt" "$tmp/avail-8.txt"
+	cmp "$tmp/avail-1.txt" results/availability.txt
+	;;
+fleet)
+	go run ./cmd/fleet -workers 1 >"$tmp/fleet-1.txt"
+	go run ./cmd/fleet -workers 8 >"$tmp/fleet-8.txt"
+	cmp "$tmp/fleet-1.txt" "$tmp/fleet-8.txt"
+	cmp "$tmp/fleet-1.txt" results/fleet.txt
+	;;
+*)
+	echo "usage: $0 {results|trace|availability|fleet}" >&2
+	exit 2
+	;;
+esac
