@@ -31,7 +31,7 @@ FUZZTIME ?= 30s
 verify: vet
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/... ./internal/tertiary/... ./internal/fleet/...
+	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/... ./internal/tertiary/... ./internal/hsm/... ./internal/fleet/...
 
 test:
 	$(GO) test ./...
@@ -44,7 +44,7 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/... ./internal/tertiary/... ./internal/fleet/...
+	$(GO) test -race ./internal/sim/... ./internal/drive/... ./internal/core/... ./internal/server/... ./internal/obs/... ./internal/tertiary/... ./internal/hsm/... ./internal/fleet/...
 
 # Run the performance-critical benchmarks with allocation reporting:
 # the scheduler suite, the locate-model fast path, and the root-level
@@ -79,9 +79,10 @@ profile:
 		-o results/pprof/tertiary.test ./internal/tertiary
 
 # Short fuzzing passes over the executor's replan path, the server's
-# admission queue, the library batcher, the bounded span store, and
-# the fleet routing tier — the state machines arbitrary inputs can
-# reach. CI runs this on every PR; locally, raise FUZZTIME to dig.
+# admission queue, the library batcher, the bounded span store, the
+# staging cache's eviction policies, and the fleet routing tier — the
+# state machines arbitrary inputs can reach. CI runs this on every PR;
+# locally, raise FUZZTIME to dig.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzExecutorReplan$$' -fuzztime $(FUZZTIME) ./internal/sim/
 	$(GO) test -run '^$$' -fuzz '^FuzzAdmissionQueue$$' -fuzztime $(FUZZTIME) ./internal/server/
@@ -89,6 +90,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLibraryRescue$$' -fuzztime $(FUZZTIME) ./internal/tertiary/
 	$(GO) test -run '^$$' -fuzz '^FuzzEventHeap$$' -fuzztime $(FUZZTIME) ./internal/tertiary/
 	$(GO) test -run '^$$' -fuzz '^FuzzSpanStore$$' -fuzztime $(FUZZTIME) ./internal/obs/
+	$(GO) test -run '^$$' -fuzz '^FuzzCacheEviction$$' -fuzztime $(FUZZTIME) ./internal/hsm/
 	$(GO) test -run '^$$' -fuzz '^FuzzFleetRouting$$' -fuzztime $(FUZZTIME) ./internal/fleet/
 
 # Static analysis beyond vet, with pinned tool versions. Needs network
@@ -118,6 +120,7 @@ results:
 	$(GO) run ./cmd/library > results/library.txt
 	$(GO) run ./cmd/outage > results/availability.txt
 	$(GO) run ./cmd/fleet > results/fleet.txt
+	$(GO) run ./cmd/cache > results/cache.txt
 	$(GO) run ./cmd/trace
 
 clean:

@@ -24,6 +24,7 @@ import (
 
 	"serpentine/internal/fault"
 	"serpentine/internal/geometry"
+	"serpentine/internal/hsm"
 	"serpentine/internal/obs"
 	"serpentine/internal/server"
 	"serpentine/internal/sim"
@@ -242,6 +243,13 @@ type RunConfig struct {
 	// s derives its seed as Lifecycle.Seed + 97·s so shards fail
 	// independently but reproducibly.
 	Lifecycle fault.LifecycleConfig
+	// Cache puts an hsm staging tier in front of every shard: hits
+	// complete at disk cost without consuming the shard's queue
+	// capacity, misses fall through to the shard's tape path, and the
+	// router sees residency via Candidate.Cached. The zero value (no
+	// capacity) changes nothing: a run without a cache is bit-identical
+	// to one before the field existed.
+	Cache hsm.Config
 	// Router picks a shard per request; nil selects LeastLoaded.
 	Router Router
 	// Seed drives the routing tie-break (see tieBreak); it does not
@@ -277,10 +285,18 @@ type Metrics struct {
 	// because every primary-shard copy was lost — the replica axis
 	// paying off across the cluster.
 	CrossShardReads int
-	// Unroutable counts requests whose every copy was lost; they are
-	// still dispatched to the primary shard so its accounting (a
-	// failure or a redirect) keeps the partition exact.
+	// Unroutable counts requests the routing tier could not place on
+	// policy grounds: every copy lost, or every candidate shard scored
+	// -Inf (zero headroom everywhere — the whole cluster's drives
+	// down). Either way the request is still dispatched to the primary
+	// shard so its accounting (a failure, a shed, or — after a repair —
+	// a serve) keeps the partition exact.
 	Unroutable int
+	// CacheHits and CacheMisses count staging-cache lookups across the
+	// fleet; both stay 0 when RunConfig.Cache is disabled. Hits are
+	// included in Served.
+	CacheHits   int
+	CacheMisses int
 	// Makespan is the latest shard makespan; MeanLatency the
 	// served-weighted mean across shards; MaxLatency the cluster-wide
 	// worst case.
@@ -295,9 +311,16 @@ type ShardResult struct {
 	Routed int
 	// Metrics and Completions are the shard's own run outcome,
 	// bit-identical to what a standalone Library.Run over the same
-	// request subsequence would produce.
+	// request subsequence would produce. With a cache enabled,
+	// Completions also holds the shard's cache hits (DriveID
+	// hsm.CacheDriveID) merged in completion order, while Metrics stays
+	// the tape path's view alone.
 	Metrics     tertiary.Metrics
 	Completions []tertiary.Completion
+	// CacheHits and CacheMisses are this shard's staging-cache lookup
+	// outcomes; both 0 when the fleet runs without a cache.
+	CacheHits   int
+	CacheMisses int
 }
 
 // decision is one routing outcome.
@@ -346,6 +369,11 @@ func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Me
 		}
 	}
 
+	// Every shard library is wrapped in an hsm staging tier. With
+	// cfg.Cache disabled the tier is a strict pass-through — no cache,
+	// no extra metrics, every call delegated to the shard's Runner —
+	// so the no-cache fleet path is bit-identical to the pre-cache one.
+	tiers := make([]*hsm.Tier, len(f.bases))
 	runners := make([]*tertiary.Runner, len(f.bases))
 	for s := range runners {
 		lc := cfg.Lifecycle
@@ -376,19 +404,20 @@ func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Me
 			SpanParent:  root,
 			Lane:        1 + s*(1+drives),
 		})
-		r, err := lib.StartRun()
+		tier, err := hsm.NewTier(lib, cfg.Cache)
 		if err != nil {
 			return nil, Metrics{}, fmt.Errorf("fleet: shard %d: %w", s, err)
 		}
-		runners[s] = r
+		tiers[s] = tier
+		runners[s] = tier.Runner()
 	}
 
 	res := make([]ShardResult, len(f.bases))
 	m := Metrics{Offered: len(stream)}
 	for i := 0; i < len(stream); {
 		at := stream[i].Arrival
-		for s := range runners {
-			if err := runners[s].AdvanceTo(at); err != nil {
+		for s := range tiers {
+			if err := tiers[s].AdvanceTo(at); err != nil {
 				return nil, Metrics{}, fmt.Errorf("fleet: shard %d: %w", s, err)
 			}
 		}
@@ -397,7 +426,7 @@ func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Me
 		// arrivals before it dispatches at that instant, exactly as a
 		// monolithic Run would.
 		for ; i < len(stream) && stream[i].Arrival == at; i++ {
-			d, err := f.route(router, cfg.Seed, i, stream[i], runners)
+			d, err := f.route(router, cfg.Seed, i, stream[i], runners, tiers)
 			if err != nil {
 				return nil, Metrics{}, err
 			}
@@ -410,7 +439,7 @@ func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Me
 			if d.unroutable {
 				m.Unroutable++
 			}
-			if err := runners[d.shard].Offer(stream[i]); err != nil {
+			if err := tiers[d.shard].Offer(stream[i]); err != nil {
 				return nil, Metrics{}, fmt.Errorf("fleet: shard %d: %w", d.shard, err)
 			}
 			res[d.shard].Routed++
@@ -418,24 +447,35 @@ func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Me
 	}
 
 	var latSum float64
-	for s := range runners {
-		comps, sm, err := runners[s].Finish()
+	for s := range tiers {
+		comps, tm, err := tiers[s].Finish()
 		if err != nil {
 			return nil, Metrics{}, fmt.Errorf("fleet: shard %d: %w", s, err)
 		}
+		sm := tm.Lib
 		res[s].Metrics = sm
 		res[s].Completions = comps
-		m.Served += sm.Served
+		res[s].CacheHits = tm.Hits
+		res[s].CacheMisses = tm.Misses
+		m.Served += tm.Served()
 		m.Failed += sm.Failed
 		m.Rejected += sm.Rejected
 		m.Shed += sm.Shed
-		if sm.Makespan > m.Makespan {
-			m.Makespan = sm.Makespan
+		m.CacheHits += tm.Hits
+		m.CacheMisses += tm.Misses
+		if tm.Makespan > m.Makespan {
+			m.Makespan = tm.Makespan
 		}
 		if sm.MaxLatency > m.MaxLatency {
 			m.MaxLatency = sm.MaxLatency
 		}
-		latSum += sm.MeanLatency * float64(sm.Served)
+		if tm.MaxHitSojourn > m.MaxLatency {
+			m.MaxLatency = tm.MaxHitSojourn
+		}
+		// Hits contribute their (disk-cost) sojourns to the fleet mean;
+		// with the cache disabled both terms past the tape path's are 0
+		// and the sum is the pre-cache expression exactly.
+		latSum += sm.MeanLatency*float64(sm.Served) + tm.HitSojournSec
 	}
 	if m.Served > 0 {
 		m.MeanLatency = latSum / float64(m.Served)
@@ -452,6 +492,10 @@ func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Me
 		cfg.Reg.Counter("fleet_affinity_hits_total", cfg.Labels...).Add(int64(m.AffinityHits))
 		cfg.Reg.Counter("fleet_cross_shard_reads_total", cfg.Labels...).Add(int64(m.CrossShardReads))
 		cfg.Reg.Counter("fleet_unroutable_total", cfg.Labels...).Add(int64(m.Unroutable))
+		if cfg.Cache.Enabled() {
+			cfg.Reg.Counter("fleet_cache_hits_total", cfg.Labels...).Add(int64(m.CacheHits))
+			cfg.Reg.Counter("fleet_cache_misses_total", cfg.Labels...).Add(int64(m.CacheMisses))
+		}
 		for s := range res {
 			labels := append(append([]obs.Label(nil), cfg.Labels...), obs.L("shard", strconv.Itoa(s)))
 			cfg.Reg.Counter("fleet_routed_total", labels...).Add(int64(res[s].Routed))
@@ -463,7 +507,7 @@ func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Me
 // route scores the shards holding a live copy of the request's object
 // and picks the best, breaking score ties by a pure function of
 // (seed, request ordinal).
-func (f *Fleet) route(router Router, seed int64, ordinal int, req tertiary.Request, runners []*tertiary.Runner) (decision, error) {
+func (f *Fleet) route(router Router, seed int64, ordinal int, req tertiary.Request, runners []*tertiary.Runner, tiers []*hsm.Tier) (decision, error) {
 	groups := f.dir[req.ObjectID]
 	if len(groups) == 0 {
 		return decision{}, fmt.Errorf("fleet: request for unknown object %q", req.ObjectID)
@@ -493,6 +537,7 @@ func (f *Fleet) route(router Router, seed int64, ordinal int, req tertiary.Reque
 			QueueDepth: r.QueueDepth(),
 			Headroom:   r.Headroom(),
 			Mounted:    mounted,
+			Cached:     tiers[g.shard].Cached(req.ObjectID),
 			Primary:    gi == 0,
 		})
 	}
@@ -505,6 +550,30 @@ func (f *Fleet) route(router Router, seed int64, ordinal int, req tertiary.Reque
 	}
 	scores := make([]float64, len(cands))
 	router.Score(ordinal, len(runners), cands, scores)
+	idx, ok := pickBest(scores, seed, ordinal)
+	if !ok {
+		// Every candidate shard scored -Inf: all of them have zero
+		// headroom (every drive down). Routing "arbitrarily" here would
+		// mean the tie-break, not the policy, picked the shard — so
+		// treat it like the all-copies-lost case instead: dispatch to
+		// the primary shard, whose own breaker sheds or serves it, and
+		// the partition stays exact.
+		return decision{shard: groups[0].shard, unroutable: true}, nil
+	}
+	pick := cands[idx]
+	return decision{
+		shard:    pick.Shard,
+		affinity: pick.Mounted,
+		cross:    !pick.Primary && !primaryAlive,
+	}, nil
+}
+
+// pickBest selects the index of the best-scored candidate, resolving
+// exact score ties by tieBreak(seed, ordinal). ok is false when even
+// the best score is -Inf — every candidate shard has zero live
+// capacity — and the caller must fall back to the unroutable path
+// rather than let the tie-break choose among equally dead shards.
+func pickBest(scores []float64, seed int64, ordinal int) (int, bool) {
 	ties := []int{0}
 	best := scores[0]
 	for j := 1; j < len(scores); j++ {
@@ -517,10 +586,8 @@ func (f *Fleet) route(router Router, seed int64, ordinal int, req tertiary.Reque
 			ties = append(ties, j)
 		}
 	}
-	pick := cands[ties[tieBreak(seed, ordinal, len(ties))]]
-	return decision{
-		shard:    pick.Shard,
-		affinity: pick.Mounted,
-		cross:    !pick.Primary && !primaryAlive,
-	}, nil
+	if math.IsInf(best, -1) {
+		return 0, false
+	}
+	return ties[tieBreak(seed, ordinal, len(ties))], true
 }

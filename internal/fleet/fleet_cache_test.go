@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"serpentine/internal/hsm"
+	"serpentine/internal/obs"
+	"serpentine/internal/tertiary"
+)
+
+// TestFleetCacheServesRepeats pins the staging-tier wiring: repeats
+// of a fetched object hit the shard's cache, hits count into Served,
+// conservation holds per shard and fleet-wide with hits included, and
+// the run stays deterministic.
+func TestFleetCacheServesRepeats(t *testing.T) {
+	fl, err := New(StoreConfig{
+		Shards:         2,
+		TapeCount:      4,
+		Objects:        64,
+		ObjectSegments: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{
+		Drives:     1,
+		BatchLimit: 4,
+		Cache:      hsm.Config{CapacityBytes: 64 << 20},
+		Seed:       9,
+	}
+	// Replicas 1: each object has one candidate shard, so the repeats
+	// land where the first fetch installed it.
+	stream := []tertiary.Request{
+		{ObjectID: "t0/o1", Arrival: 0},
+		{ObjectID: "t1/o2", Arrival: 0},
+		{ObjectID: "t0/o1", Arrival: 50000},
+		{ObjectID: "t1/o2", Arrival: 50000},
+		{ObjectID: "t0/o1", Arrival: 50001},
+	}
+	res, m, err := fl.Run(cfg, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits != 3 || m.CacheMisses != 2 {
+		t.Fatalf("cache hits/misses = %d/%d, want 3/2", m.CacheHits, m.CacheMisses)
+	}
+	if m.Served != len(stream) {
+		t.Fatalf("served=%d, want %d (hits included)", m.Served, len(stream))
+	}
+	if got := m.Served + m.Failed + m.Rejected + m.Shed; got != m.Offered {
+		t.Fatalf("conservation broken with cache: outcomes %d != offered %d", got, m.Offered)
+	}
+	var hits, cacheComps int
+	for s, sr := range res {
+		hits += sr.CacheHits
+		outcomes := sr.Metrics.Served + sr.CacheHits + sr.Metrics.Failed + sr.Metrics.Rejected + sr.Metrics.Shed
+		if outcomes != sr.Routed {
+			t.Fatalf("shard %d conservation broken: outcomes %d != routed %d", s, outcomes, sr.Routed)
+		}
+		for _, c := range sr.Completions {
+			if c.DriveID == hsm.CacheDriveID {
+				cacheComps++
+			}
+		}
+	}
+	if hits != m.CacheHits {
+		t.Fatalf("shard hit sum %d != fleet %d", hits, m.CacheHits)
+	}
+	if cacheComps != m.CacheHits {
+		t.Fatalf("%d cache-hit completions, want %d", cacheComps, m.CacheHits)
+	}
+	if m.MeanLatency <= 0 || m.MaxLatency < m.MeanLatency {
+		t.Fatalf("latency summary: mean %g max %g", m.MeanLatency, m.MaxLatency)
+	}
+
+	// Same run again: bit-identical.
+	res2, m2, err := fl.Run(cfg, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m || !reflect.DeepEqual(res2, res) {
+		t.Fatal("cache-backed fleet run is not deterministic")
+	}
+
+	// Cache off: no hits, no cache completions, and the same stream
+	// serves entirely off tape.
+	cfg.Cache = hsm.Config{}
+	_, m0, err := fl.Run(cfg, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.CacheHits != 0 || m0.CacheMisses != 0 {
+		t.Fatalf("disabled cache counted %d/%d hits/misses", m0.CacheHits, m0.CacheMisses)
+	}
+	if m0.Served != len(stream) {
+		t.Fatalf("no-cache served=%d, want %d", m0.Served, len(stream))
+	}
+}
+
+// TestAffinityRoutesToCachedShard pins the router probe: with two
+// replica shards, a repeat of a fetched object routes to the shard
+// whose cache holds it — the Cached signal dominating mount affinity
+// and load.
+func TestAffinityRoutesToCachedShard(t *testing.T) {
+	fl, err := New(StoreConfig{
+		Shards:         2,
+		TapeCount:      4,
+		Objects:        64,
+		ObjectSegments: 8,
+		Replicas:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{
+		Drives:     1,
+		BatchLimit: 4,
+		Cache:      hsm.Config{CapacityBytes: 64 << 20},
+		Router:     Affinity{},
+		Seed:       5,
+	}
+	stream := []tertiary.Request{
+		{ObjectID: "t0/o3", Arrival: 0},
+		{ObjectID: "t0/o3", Arrival: 50000},
+	}
+	res, m, err := fl.Run(cfg, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits != 1 {
+		t.Fatalf("cache hits=%d, want 1: the repeat did not follow the resident copy", m.CacheHits)
+	}
+	for s, sr := range res {
+		if sr.CacheHits == 1 && sr.Routed != 2 {
+			t.Fatalf("shard %d holds the object but routed %d requests, want both", s, sr.Routed)
+		}
+	}
+
+	// The fleet-level counters appear only when the cache is on.
+	reg := obs.NewRegistry()
+	cfg.Reg = reg
+	if _, _, err := fl.Run(cfg, stream); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("fleet_cache_hits_total").Value(); got != 1 {
+		t.Fatalf("fleet_cache_hits_total = %d, want 1", got)
+	}
+	if got := reg.Counter("fleet_cache_misses_total").Value(); got != 1 {
+		t.Fatalf("fleet_cache_misses_total = %d, want 1", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"serpentine/internal/fault"
 	"serpentine/internal/geometry"
+	"serpentine/internal/tertiary"
 )
 
 // fuzzFleets builds one small cluster store per shard count, shared
@@ -122,4 +123,69 @@ func FuzzFleetRouting(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestAllDrivesDeadRoutesToPrimary pins the router's dead-cluster
+// fallback: when every candidate shard has zero headroom, every score
+// is -Inf, and the request must go to its primary shard as an
+// unroutable dispatch — not to whichever dead shard the tie-break
+// lands on — where the shard's open breaker sheds it and conservation
+// holds.
+func TestAllDrivesDeadRoutesToPrimary(t *testing.T) {
+	fl, err := New(StoreConfig{
+		Profile:        geometry.Tiny(),
+		Shards:         2,
+		TapeCount:      4,
+		Objects:        16,
+		ObjectSegments: 2,
+		Replicas:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short-lived drives, effectively never repaired: by the arrival
+	// time every drive in the cluster is down.
+	cfg := RunConfig{
+		Drives: 2,
+		Lifecycle: fault.LifecycleConfig{
+			DriveMTTFSec: 60,
+			DriveMTTRSec: 1e12,
+		},
+		Router: LeastLoaded{},
+		Seed:   1,
+	}
+	// Headroom is a probe of each shard's event loop, updated as the
+	// loop processes offers — an idle loop reports its last observed
+	// state. By 100000s every drive is dead (mean life 60s, repair
+	// effectively never), so each warm-up opens the breaker of
+	// whichever shard it lands on: the first goes to either shard
+	// (both still look closed) and opens it, which forces the second
+	// to the other shard and opens that one too. The probed arrivals
+	// then see zero headroom everywhere — every score -Inf.
+	warmups := 2
+	stream := []tertiary.Request{
+		{ObjectID: "t0/o0", Arrival: 100000}, // warm-up: opens one shard's breaker
+		{ObjectID: "t1/o0", Arrival: 100001}, // warm-up: opens the other's
+		{ObjectID: "t0/o1", Arrival: 200000}, // primary copy on tape 0 → shard 0
+		{ObjectID: "t1/o3", Arrival: 200000}, // primary copy on tape 1 → shard 1
+		{ObjectID: "t2/o5", Arrival: 200001}, // tape 2 → shard 0
+	}
+	res, m, err := fl.Run(cfg, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed := len(stream) - warmups
+	if m.Unroutable != probed {
+		t.Fatalf("unroutable=%d, want %d (all drives down)", m.Unroutable, probed)
+	}
+	if res[0].Routed < 2 || res[1].Routed < 1 {
+		t.Fatalf("routed %d/%d across shards: probed requests missing from their primary shards",
+			res[0].Routed, res[1].Routed)
+	}
+	if got := m.Served + m.Failed + m.Rejected + m.Shed; got != len(stream) {
+		t.Fatalf("conservation broken on a dead cluster: outcomes %d != offered %d", got, len(stream))
+	}
+	if m.Shed < probed {
+		t.Fatalf("shed=%d, want at least %d (open breakers shed everything probed)", m.Shed, probed)
+	}
 }

@@ -17,6 +17,11 @@ type Candidate struct {
 	// Mounted reports that one of the object's cartridges on this
 	// shard is currently loaded in a drive.
 	Mounted bool
+	// Cached reports that the shard's staging cache holds the object
+	// resident right now — the request would complete at disk cost
+	// without touching the tape path at all. Always false when the
+	// fleet runs without a cache.
+	Cached bool
 	// Primary marks the shard holding the object's copy 0.
 	Primary bool
 }
@@ -106,21 +111,29 @@ func loadScore(c Candidate) float64 {
 // tie within each class.
 const affinityBonus = 1e12
 
-// Affinity routes to a shard that already has the request's cartridge
-// in a drive — the request joins that cartridge's next batch without
-// paying an exchange — falling back to least-loaded when no candidate
-// has it mounted.
+// Affinity routes to a shard that already has the request's object in
+// its staging cache (a disk-cost hit, no tape motion at all), then to
+// one that has the cartridge in a drive — the request joins that
+// cartridge's next batch without paying an exchange — falling back to
+// least-loaded when no candidate has either.
 type Affinity struct{}
 
 // Name returns "affinity".
 func (Affinity) Name() string { return "affinity" }
 
-// Score is loadScore plus a dominating bonus for mounted candidates.
+// Score is loadScore plus a dominating bonus for mounted candidates
+// and a doubly dominating one for cached candidates: cache beats
+// mount beats load. A dead shard (zero headroom) stays -Inf whatever
+// it has mounted or cached — a bonus on top of -Inf is still -Inf —
+// so affinity never routes into a shard with no live drives.
 func (Affinity) Score(_, _ int, cands []Candidate, scores []float64) {
 	for i, c := range cands {
 		scores[i] = loadScore(c)
 		if c.Mounted {
 			scores[i] += affinityBonus
+		}
+		if c.Cached {
+			scores[i] += 2 * affinityBonus
 		}
 	}
 }

@@ -171,3 +171,26 @@ func TestRouterNames(t *testing.T) {
 		}
 	}
 }
+
+func TestPickBestAllDead(t *testing.T) {
+	inf := math.Inf(-1)
+	if _, ok := pickBest([]float64{inf, inf, inf}, 1, 0); ok {
+		t.Error("pickBest accepted a slate of -Inf scores")
+	}
+	if _, ok := pickBest([]float64{inf}, 1, 0); ok {
+		t.Error("pickBest accepted a single -Inf score")
+	}
+	if idx, ok := pickBest([]float64{inf, -3, inf}, 1, 0); !ok || idx != 1 {
+		t.Errorf("pickBest over {-Inf, -3, -Inf} = (%d, %v), want (1, true)", idx, ok)
+	}
+	// Ties among finite scores still resolve by the seeded hash.
+	for ordinal := 0; ordinal < 32; ordinal++ {
+		idx, ok := pickBest([]float64{-2, -2, -9}, 7, ordinal)
+		if !ok || idx == 2 {
+			t.Fatalf("ordinal %d: pickBest = (%d, %v)", ordinal, idx, ok)
+		}
+		if want := tieBreak(7, ordinal, 2); idx != want {
+			t.Fatalf("ordinal %d: tie resolved to %d, want tieBreak's %d", ordinal, idx, want)
+		}
+	}
+}

@@ -109,9 +109,15 @@ func (b *Breaker) Admits(bestEffort bool) bool {
 // EffectiveCap scales a configured queue capacity by the live
 // fraction, rounding up, never below 1 while any drive lives: with
 // half the pool down, admitting a full queue only builds sojourn the
-// surviving drives cannot serve.
+// surviving drives cannot serve. A negative configured capacity is
+// nonsense and clamps to 0 (unbounded, matching how callers treat a
+// zero capacity) rather than leaking through as a cap every depth
+// comparison trivially exceeds.
 func (b *Breaker) EffectiveCap(cap int) int {
-	if b.live >= b.configured || cap <= 0 {
+	if cap < 0 {
+		return 0
+	}
+	if b.live >= b.configured || cap == 0 {
 		return cap
 	}
 	scaled := (cap*b.live + b.configured - 1) / b.configured

@@ -88,3 +88,24 @@ func TestRequestExpired(t *testing.T) {
 		t.Fatal("zero deadline expired")
 	}
 }
+
+func TestBreakerEffectiveCapDegenerate(t *testing.T) {
+	// cap ∈ {-1, 0, 1} × live ∈ {0, 1, configured}: a negative
+	// configured capacity is nonsense and clamps to 0 (unbounded, as
+	// callers treat 0); 0 passes through; a positive capacity never
+	// scales below 1.
+	cases := []struct {
+		cap, live, want int
+	}{
+		{-1, 0, 0}, {-1, 1, 0}, {-1, 2, 0},
+		{0, 0, 0}, {0, 1, 0}, {0, 2, 0},
+		{1, 0, 1}, {1, 1, 1}, {1, 2, 1},
+	}
+	for _, c := range cases {
+		b := NewBreaker(2)
+		b.SetLive(c.live)
+		if got := b.EffectiveCap(c.cap); got != c.want {
+			t.Errorf("EffectiveCap(%d) at live %d/2 = %d, want %d", c.cap, c.live, got, c.want)
+		}
+	}
+}

@@ -60,13 +60,23 @@ func (q *AdmissionQueue) PopN(n int) []Request {
 	out := make([]Request, n)
 	copy(out, q.reqs[q.head:q.head+n])
 	q.head += n
-	// Compact once the dead prefix dominates, keeping Offer amortized
-	// O(1) without unbounded growth.
-	if q.head > len(q.reqs)/2 {
-		q.reqs = append(q.reqs[:0], q.reqs[q.head:]...)
-		q.head = 0
-	}
+	q.compact()
 	return out
+}
+
+// compact shifts the live tail down once the dead prefix dominates,
+// keeping Offer amortized O(1) without unbounded growth. The vacated
+// tail is zeroed: popped requests must not be retained by the backing
+// array, where their payloads would stay pinned until the next
+// compaction or growth overwrote them.
+func (q *AdmissionQueue) compact() {
+	if q.head <= len(q.reqs)/2 {
+		return
+	}
+	n := copy(q.reqs, q.reqs[q.head:])
+	clear(q.reqs[n:])
+	q.reqs = q.reqs[:n]
+	q.head = 0
 }
 
 // PopNAppend is PopN into a caller-owned buffer: up to n requests
@@ -84,10 +94,7 @@ func (q *AdmissionQueue) PopNAppend(dst []Request, n int) []Request {
 	}
 	dst = append(dst, q.reqs[q.head:q.head+n]...)
 	q.head += n
-	if q.head > len(q.reqs)/2 {
-		q.reqs = append(q.reqs[:0], q.reqs[q.head:]...)
-		q.head = 0
-	}
+	q.compact()
 	return dst
 }
 

@@ -62,3 +62,32 @@ func TestAdmissionQueueCompaction(t *testing.T) {
 		}
 	}
 }
+
+func TestAdmissionQueueCompactionClearsTail(t *testing.T) {
+	// Compaction copies the live tail down; the vacated half of the
+	// backing array must be zeroed so popped requests are not pinned
+	// by the queue's storage.
+	q := NewAdmissionQueue(16)
+	for i := 0; i < 16; i++ {
+		if !q.Offer(Request{ID: i + 1, Segment: 7, ArrivalSec: 3.5, Deadline: 9, BestEffort: true}) {
+			t.Fatalf("offer %d rejected below capacity", i+1)
+		}
+	}
+	if got := q.PopN(12); len(got) != 12 {
+		t.Fatalf("PopN(12) returned %d requests", len(got))
+	}
+	for i, r := range q.reqs[q.Len():cap(q.reqs)] {
+		if r != (Request{}) {
+			t.Fatalf("stale request %+v at vacated backing slot %d after compaction", r, i)
+		}
+	}
+	rest := q.PopN(-1)
+	if len(rest) != 4 {
+		t.Fatalf("drain returned %d requests, want 4", len(rest))
+	}
+	for i, r := range rest {
+		if r.ID != 13+i {
+			t.Fatalf("drain order: got ID %d at %d, want %d", r.ID, i, 13+i)
+		}
+	}
+}

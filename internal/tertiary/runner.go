@@ -92,6 +92,16 @@ func (r *Runner) Finish() ([]Completion, Metrics, error) {
 // Now returns the runner's current virtual time.
 func (r *Runner) Now() float64 { return r.s.now }
 
+// Completed returns the completions recorded so far, in record order:
+// the deterministic order the event loop appended them at dispatch
+// time, not completion order, and with Done timestamps that may still
+// lie ahead of the clock (a batch's completions are priced when it
+// dispatches). The slice is the loop's own backing store — read-only,
+// growing across AdvanceTo calls, and re-sorted into completion order
+// by Finish, so incremental consumers (the staging tier harvesting
+// fetch returns) must drain it by index before calling Finish.
+func (r *Runner) Completed() []Completion { return r.s.done }
+
 // QueueDepth is the pending backlog: requests offered or admitted but
 // not yet dispatched to a drive. Offered-but-unadmitted arrivals count
 // so that a router scoring several same-timestamp requests sees each

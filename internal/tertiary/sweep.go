@@ -141,34 +141,11 @@ func Sweep(cfg SweepConfig) ([]Cell, error) {
 	if profile.Tracks == 0 {
 		profile = geometry.DLT4000()
 	}
-	catalog := NewCatalog()
-	serials := make([]int64, tapeCount)
-	for t := 0; t < tapeCount; t++ {
-		serial := int64(3000 + t)
-		serials[t] = serial
-		tape, err := geometry.Generate(profile, serial)
-		if err != nil {
-			return nil, fmt.Errorf("tertiary: sweep tape %d: %w", serial, err)
-		}
-		stride := tape.Segments() / objects
-		if stride < objSegs {
-			return nil, fmt.Errorf("tertiary: sweep: %d objects of %d segments overflow tape %d", objects, objSegs, serial)
-		}
-		for o := 0; o < objects; o++ {
-			if err := catalog.Put(Object{
-				ID:       sweepObjectID(t, o),
-				Tape:     serial,
-				Start:    o * stride,
-				Segments: objSegs,
-			}); err != nil {
-				return nil, err
-			}
-		}
-	}
-	base, err := New(Config{Profile: profile, Tapes: serials, MountSec: cfg.MountSec, UnmountSec: cfg.UnmountSec}, catalog)
+	base, err := SweepStore(profile, tapeCount, objects, objSegs, cfg.MountSec, cfg.UnmountSec)
 	if err != nil {
-		return nil, fmt.Errorf("tertiary: sweep store: %w", err)
+		return nil, err
 	}
+	serials := base.Tapes()
 
 	type cellSpec struct {
 		rateIdx, driveIdx, limitIdx int
@@ -306,6 +283,59 @@ func (l *Library) Clone(cfg Config) *Library {
 		models:  l.models,
 		sched:   sched,
 	}
+}
+
+// SweepStore builds the sweeps' shared synthetic store: tapeCount
+// cartridges (serials 3000+t, matching the sweeps' t<N>/o<M> object
+// naming) each holding `objects` extents of objSegs segments laid out
+// stride-aligned along the tape. The returned base library owns the
+// tapes, locate models and catalog; sweep cells Clone it with their
+// own knobs, registries and tracers. A zero profile selects the
+// DLT4000; mountSec/unmountSec pass through to the base Config (cells
+// normally override them in their Clone anyway). Exported so the
+// staging-tier sweep (hsm) can serve the exact store a library sweep
+// cell serves.
+func SweepStore(profile geometry.Params, tapeCount, objects, objSegs int, mountSec, unmountSec float64) (*Library, error) {
+	if profile.Tracks == 0 {
+		profile = geometry.DLT4000()
+	}
+	catalog := NewCatalog()
+	serials := make([]int64, tapeCount)
+	for t := 0; t < tapeCount; t++ {
+		serial := int64(3000 + t)
+		serials[t] = serial
+		tape, err := geometry.Generate(profile, serial)
+		if err != nil {
+			return nil, fmt.Errorf("tertiary: sweep tape %d: %w", serial, err)
+		}
+		stride := tape.Segments() / objects
+		if stride < objSegs {
+			return nil, fmt.Errorf("tertiary: sweep: %d objects of %d segments overflow tape %d", objects, objSegs, serial)
+		}
+		for o := 0; o < objects; o++ {
+			if err := catalog.Put(Object{
+				ID:       sweepObjectID(t, o),
+				Tape:     serial,
+				Start:    o * stride,
+				Segments: objSegs,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	base, err := New(Config{Profile: profile, Tapes: serials, MountSec: mountSec, UnmountSec: unmountSec}, catalog)
+	if err != nil {
+		return nil, fmt.Errorf("tertiary: sweep store: %w", err)
+	}
+	return base, nil
+}
+
+// SweepStream builds one sweep cell's request stream — Poisson
+// arrivals at ratePerHour, Zipf(0.8)-popular objects over the sweeps'
+// t<N>/o<M> naming — exported so the staging-tier sweep (hsm) can
+// replay the exact stream a library sweep cell serves.
+func SweepStream(ratePerHour float64, n int, seed int64, tapeCount, objects int) ([]Request, error) {
+	return sweepStream(ratePerHour, n, seed, tapeCount, objects)
 }
 
 // sweepStream builds one cell's request stream: Poisson arrivals,

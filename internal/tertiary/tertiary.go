@@ -77,6 +77,26 @@ func (c *Catalog) Get(id string) (Object, bool) {
 // Len returns the number of cataloged objects.
 func (c *Catalog) Len() int { return len(c.objects) }
 
+// All returns every cataloged object sorted by (Tape, Start, ID) —
+// physical layout order, the order a staging tier prefetches along.
+func (c *Catalog) All() []Object {
+	out := make([]Object, 0, len(c.objects))
+	for _, o := range c.objects {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Tape != b.Tape {
+			return a.Tape < b.Tape
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
 // Request is one read of a cataloged object.
 type Request struct {
 	// ObjectID names the object to read.
@@ -382,6 +402,37 @@ func New(cfg Config, catalog *Catalog) (*Library, error) {
 		return nil, err
 	}
 	return l, nil
+}
+
+// Config returns a copy of the library's resolved configuration (zero
+// values replaced by defaults). The staging tier reads it to inherit
+// the library's registry, labels and span wiring, and to re-Clone the
+// library with the cache span as the run span's parent.
+func (l *Library) Config() Config { return l.cfg }
+
+// Objects returns the catalog's entries in layout order (see
+// Catalog.All).
+func (l *Library) Objects() []Object { return l.catalog.All() }
+
+// RefetchSec is the modeled cost of fetching the object from tape
+// again: a locate from the load point to the extent plus the extent's
+// streaming transfer, priced on the tape's own cost model — the same
+// model the analytical twin (Estimate) prices reads with. It is the
+// cost-aware eviction policy's currency: evicting an object that is
+// cheap to re-fetch risks little, evicting one far down the tape
+// risks a long locate. The mount exchange is deliberately excluded —
+// it amortizes over whatever batch the re-fetch would join. Objects
+// on unknown tapes cost 0.
+func (l *Library) RefetchSec(o Object) float64 {
+	model, ok := l.models[o.Tape]
+	if !ok {
+		return 0
+	}
+	cost := model.LocateTime(0, o.Start)
+	for k := 0; k < o.segments(); k++ {
+		cost += model.ReadTime(o.Start + k)
+	}
+	return cost
 }
 
 // Tapes returns the cartridge serials in the library.

@@ -9,6 +9,7 @@
 #   trace         span evidence (results/trace.json, attribution.txt)
 #   availability  the lifecycle-fault sweep (results/availability.txt)
 #   fleet         the sharded-cluster sweep (results/fleet.txt)
+#   cache         the staging-tier sweep (results/cache.txt)
 set -eu
 
 tmp=$(mktemp -d)
@@ -39,8 +40,14 @@ fleet)
 	cmp "$tmp/fleet-1.txt" "$tmp/fleet-8.txt"
 	cmp "$tmp/fleet-1.txt" results/fleet.txt
 	;;
+cache)
+	go run ./cmd/cache -workers 1 >"$tmp/cache-1.txt"
+	go run ./cmd/cache -workers 8 >"$tmp/cache-8.txt"
+	cmp "$tmp/cache-1.txt" "$tmp/cache-8.txt"
+	cmp "$tmp/cache-1.txt" results/cache.txt
+	;;
 *)
-	echo "usage: $0 {results|trace|availability|fleet}" >&2
+	echo "usage: $0 {results|trace|availability|fleet|cache}" >&2
 	exit 2
 	;;
 esac
