@@ -21,7 +21,7 @@ GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
 FUZZTIME ?= 30s
 
-.PHONY: verify test vet fmt race bench bench-json bench-pr6 profile fuzz-smoke lint vulncheck cover results clean
+.PHONY: verify test vet fmt race bench bench-json bench-pr6 profile fuzz-smoke lint vulncheck cover results slo clean
 
 # Tier-1 verify: build, vet, full test suite, and the race detector
 # over the parallel simulator plus the packages it drives concurrently
@@ -80,9 +80,10 @@ profile:
 
 # Short fuzzing passes over the executor's replan path, the server's
 # admission queue, the library batcher, the bounded span store, the
-# staging cache's eviction policies, and the fleet routing tier — the
-# state machines arbitrary inputs can reach. CI runs this on every PR;
-# locally, raise FUZZTIME to dig.
+# wide-event ring, the SLO sliding windows, the staging cache's
+# eviction policies, and the fleet routing tier — the state machines
+# arbitrary inputs can reach. CI runs this on every PR; locally, raise
+# FUZZTIME to dig.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzExecutorReplan$$' -fuzztime $(FUZZTIME) ./internal/sim/
 	$(GO) test -run '^$$' -fuzz '^FuzzAdmissionQueue$$' -fuzztime $(FUZZTIME) ./internal/server/
@@ -90,6 +91,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLibraryRescue$$' -fuzztime $(FUZZTIME) ./internal/tertiary/
 	$(GO) test -run '^$$' -fuzz '^FuzzEventHeap$$' -fuzztime $(FUZZTIME) ./internal/tertiary/
 	$(GO) test -run '^$$' -fuzz '^FuzzSpanStore$$' -fuzztime $(FUZZTIME) ./internal/obs/
+	$(GO) test -run '^$$' -fuzz '^FuzzWideEventRing$$' -fuzztime $(FUZZTIME) ./internal/obs/
+	$(GO) test -run '^$$' -fuzz '^FuzzSLOWindow$$' -fuzztime $(FUZZTIME) ./internal/obs/
 	$(GO) test -run '^$$' -fuzz '^FuzzCacheEviction$$' -fuzztime $(FUZZTIME) ./internal/hsm/
 	$(GO) test -run '^$$' -fuzz '^FuzzFleetRouting$$' -fuzztime $(FUZZTIME) ./internal/fleet/
 
@@ -122,6 +125,15 @@ results:
 	$(GO) run ./cmd/fleet > results/fleet.txt
 	$(GO) run ./cmd/cache > results/cache.txt
 	$(GO) run ./cmd/trace
+	$(MAKE) slo
+
+# Regenerate the committed wide-event sample and the SLO report built
+# from it. Both are byte-deterministic at any -workers count; the
+# analyzer reads the committed JSONL so the report is reproducible from
+# evidence alone.
+slo:
+	$(GO) run ./cmd/events -out results/events.jsonl
+	$(GO) run ./cmd/slo -events results/events.jsonl > results/slo.txt
 
 clean:
 	rm -f $(BENCH_TXT)

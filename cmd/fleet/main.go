@@ -25,9 +25,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strconv"
 
 	"serpentine/internal/fault"
 	"serpentine/internal/fleet"
+	"serpentine/internal/obs"
 )
 
 func main() {
@@ -43,6 +46,7 @@ func main() {
 		loss     = flag.Float64("loss", 0.05, "cartridge-loss rate in the degraded section")
 		seed     = flag.Int64("seed", 1, "workload and routing seed")
 		workers  = flag.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+		listen   = flag.String("listen", "", "serve live introspection (/metrics /statusz /healthz /tracez /debug/pprof) on this address and block after the run")
 	)
 	flag.Parse()
 
@@ -55,6 +59,18 @@ func main() {
 		Requests:   *requests,
 		Seed:       *seed,
 		Workers:    *workers,
+	}
+	var reg *obs.Registry
+	var allEvents []obs.Event
+	if *listen != "" {
+		reg = obs.NewRegistry()
+		base.Reg = reg
+		base.EventCap = *requests
+	}
+	collect := func(cells []fleet.Cell) {
+		for _, c := range cells {
+			allEvents = append(allEvents, c.Events...)
+		}
 	}
 
 	w := bufio.NewWriter(os.Stdout)
@@ -70,6 +86,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	collect(grid)
 	if err := fleet.WriteFleet(w, grid); err != nil {
 		log.Fatal(err)
 	}
@@ -92,6 +109,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		collect(cells)
 		for _, c := range cells {
 			m := c.Metrics
 			ioPerHour := 0.0
@@ -120,7 +138,42 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	collect(cells)
 	if err := fleet.WriteFleet(w, cells); err != nil {
 		log.Fatal(err)
+	}
+
+	if *listen != "" {
+		w.Flush()
+		// Replay every cell's wide events into the live plane in
+		// terminal-time order — the same order at any worker count — so
+		// /healthz shows the deterministic end-of-run SLO state and
+		// /statusz the per-shard metric rollup.
+		sort.SliceStable(allEvents, func(i, j int) bool {
+			return allEvents[i].DoneSec < allEvents[j].DoneSec
+		})
+		ring := obs.NewEventRing(len(allEvents) + 1)
+		engine, err := obs.NewSLOEngine(obs.SLOConfig{
+			Objectives: []obs.Objective{
+				{Name: "availability", Target: 0.995},
+				{Name: "latency", Target: 0.95, LatencySec: 1800},
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		health := obs.NewHealthTracker()
+		for _, ev := range allEvents {
+			ring.Add(ev)
+			engine.ObserveEvent(ev)
+			key := "shard=" + strconv.Itoa(ev.Shard)
+			health.Observe(key, ev.DoneSec, ev.Outcome == obs.OutcomeServed)
+		}
+		addr, err := obs.Serve(*listen, obs.MuxConfig{Reg: reg, SLO: engine, Health: health, Events: ring})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("introspection on http://%s (/metrics /statusz /healthz /tracez /debug/pprof); ^C to exit", addr)
+		select {}
 	}
 }

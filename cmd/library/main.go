@@ -106,7 +106,7 @@ func main() {
 				tracer.Record(s)
 			}
 		}
-		addr, err := obs.Serve(*listen, reg, tracer)
+		addr, err := obs.Serve(*listen, obs.MuxConfig{Reg: reg, Tracer: tracer})
 		if err != nil {
 			log.Fatal(err)
 		}

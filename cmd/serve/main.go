@@ -116,7 +116,7 @@ func main() {
 		}
 		tracer = obs.NewTracer(*spanCap)
 		cfg.Spans = tracer
-		addr, err := obs.Serve(*listen, reg, tracer)
+		addr, err := obs.Serve(*listen, obs.MuxConfig{Reg: reg, Tracer: tracer})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,210 @@
+// Command slo replays a wide-event log (cmd/events' JSONL) through
+// the analysis side of the observability plane and prints:
+//
+//   - percentile breakdowns of request sojourn grouped by arbitrary
+//     event dimensions (-by: outcome, shard, cache, route, class,
+//     drive, replica, or any cell label such as rate);
+//   - one SLO engine report per rate group — rolling-window SLIs,
+//     cumulative error budget, burn rules, and the alert transition
+//     log the replay produced.
+//
+// Usage:
+//
+//	slo
+//	slo -events results/events.jsonl -by outcome,shard,cache,rate
+//	events -head 0 | slo -events -
+//
+// The replay sorts events by terminal time before scoring, so the
+// report is a pure function of the log's contents — independent of
+// line order and of the -workers count that produced the log.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"serpentine/internal/obs"
+	"serpentine/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("slo: ")
+	var (
+		path       = flag.String("events", "results/events.jsonl", "wide-event JSONL log (- = stdin)")
+		by         = flag.String("by", "outcome,shard,cache,route,rate", "comma-separated breakdown dimensions")
+		target     = flag.Float64("target", 0.995, "availability objective target")
+		latency    = flag.Float64("latency", 1800, "latency objective threshold (seconds)")
+		latencyTgt = flag.Float64("latency-target", 0.95, "latency objective target")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *path != "-" {
+		f, err := os.Open(*path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := obs.ReadEventsJSONL(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.DoneSec != b.DoneSec {
+			return a.DoneSec < b.DoneSec
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Seq < b.Seq
+	})
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "# slo: %d events\n", len(events))
+
+	for _, dim := range strings.Split(*by, ",") {
+		dim = strings.TrimSpace(dim)
+		if dim == "" {
+			continue
+		}
+		writeBreakdown(w, events, dim)
+	}
+
+	// One engine per rate group: each group is one arrival process, so
+	// its windows and burn rates mean something. Logs without a rate
+	// label fall into a single "-" group.
+	groups := make(map[string][]obs.Event)
+	for _, ev := range events {
+		groups[dimValue(ev, "rate")] = append(groups[dimValue(ev, "rate")], ev)
+	}
+	for _, key := range sortedKeys(groups) {
+		engine, err := obs.NewSLOEngine(obs.SLOConfig{
+			Objectives: []obs.Objective{
+				{Name: "availability", Target: *target},
+				{Name: "latency", Target: *latencyTgt, LatencySec: *latency},
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range groups[key] {
+			engine.ObserveEvent(ev)
+		}
+		fmt.Fprintf(w, "\n## rate %s (%d events)\n\n", key, len(groups[key]))
+		if err := engine.WriteReport(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeBreakdown prints one dimension's sojourn percentile table.
+// Percentiles are over served requests only — a shed or rejected
+// request's sojourn measures the deadline or the admission decision,
+// not service — while the outcome columns count everything.
+func writeBreakdown(w io.Writer, events []obs.Event, dim string) {
+	type row struct {
+		count, served, failed, rejected, shed int
+		sojourns                              []float64
+	}
+	rows := make(map[string]*row)
+	for _, ev := range events {
+		v := dimValue(ev, dim)
+		r := rows[v]
+		if r == nil {
+			r = &row{}
+			rows[v] = r
+		}
+		r.count++
+		switch ev.Outcome {
+		case obs.OutcomeServed:
+			r.served++
+			r.sojourns = append(r.sojourns, ev.SojournSec())
+		case obs.OutcomeFailed:
+			r.failed++
+		case obs.OutcomeRejected:
+			r.rejected++
+		case obs.OutcomeShed:
+			r.shed++
+		}
+	}
+	fmt.Fprintf(w, "\n## by %s\n\n", dim)
+	fmt.Fprintf(w, "%-14s %6s %6s %6s %6s %6s %9s %9s %9s\n",
+		dim, "events", "served", "failed", "reject", "shed", "p50 (s)", "p90 (s)", "p99 (s)")
+	for _, v := range sortedKeys(rows) {
+		r := rows[v]
+		fmt.Fprintf(w, "%-14s %6d %6d %6d %6d %6d %9.1f %9.1f %9.1f\n",
+			v, r.count, r.served, r.failed, r.rejected, r.shed,
+			stats.PercentileOrZero(r.sojourns, 50),
+			stats.PercentileOrZero(r.sojourns, 90),
+			stats.PercentileOrZero(r.sojourns, 99))
+	}
+}
+
+// dimValue extracts one breakdown dimension from an event; unknown
+// names fall through to the event's cell labels.
+func dimValue(ev obs.Event, dim string) string {
+	switch dim {
+	case "shard":
+		return strconv.Itoa(ev.Shard)
+	case "drive":
+		return strconv.Itoa(ev.Drive)
+	case "cache":
+		if ev.Cache {
+			return "hit"
+		}
+		return "tape"
+	case "outcome":
+		return ev.Outcome
+	case "route":
+		if ev.Route == "" {
+			return "-"
+		}
+		return ev.Route
+	case "class":
+		return ev.Class
+	case "replica":
+		return strconv.Itoa(ev.Replica)
+	}
+	for _, l := range ev.Labels {
+		if l.Key == dim {
+			return l.Value
+		}
+	}
+	return "-"
+}
+
+// sortedKeys orders group keys numerically when every key parses as a
+// number (shard indices, rates), lexically otherwise.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	numeric := true
+	for k := range m {
+		keys = append(keys, k)
+		if _, err := strconv.ParseFloat(k, 64); err != nil {
+			numeric = false
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if numeric {
+			a, _ := strconv.ParseFloat(keys[i], 64)
+			b, _ := strconv.ParseFloat(keys[j], 64)
+			if a != b {
+				return a < b
+			}
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

@@ -20,6 +20,7 @@ package fleet
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 
 	"serpentine/internal/fault"
@@ -266,6 +267,20 @@ type RunConfig struct {
 	// every shard's run span nested under it, each shard on its own
 	// lane block (shard s starts at lane 1 + s·(1+Drives)).
 	Spans *obs.Tracer
+	// Events, when non-nil, receives one wide event per request after
+	// the run: each shard collects its own (stamped with shard, route
+	// and the attribution vector) into a private ring, and the fold
+	// merges them in (DoneSec, Shard, Seq) order with Labels attached
+	// — the same spec-order folding the registries get, so the merged
+	// log is identical at any worker count.
+	Events *obs.EventRing
+	// Health, when non-nil, consumes the event stream live: as the
+	// arrival clock advances, every event whose terminal time has
+	// passed scores its shard (key "shard=N") and serving drive (key
+	// "shard=N/drive=D") in the tracker, and the router sees the
+	// shard's current score as Candidate.Health at each decision.
+	// Observational this PR: no built-in router reads the score.
+	Health *obs.HealthTracker
 }
 
 // Metrics summarizes a fleet run across its shards.
@@ -331,6 +346,149 @@ type decision struct {
 	unroutable bool
 }
 
+// routeName renders the decision for the request's wide event.
+func (d decision) routeName() string {
+	switch {
+	case d.unroutable:
+		return "unroutable"
+	case d.cross:
+		return "cross-shard"
+	case d.affinity:
+		return "affinity"
+	}
+	return "routed"
+}
+
+// eventRingAt indexes a possibly-nil ring slice: a fleet run without
+// events or health hands every shard a nil (no-op) ring.
+func eventRingAt(rings []*obs.EventRing, s int) *obs.EventRing {
+	if rings == nil {
+		return nil
+	}
+	return rings[s]
+}
+
+// healthFeed streams the per-shard wide-event rings into a
+// HealthTracker in global virtual-time order. Shards emit events in
+// their own order, and served events carry Done timestamps priced
+// ahead of the clock at dispatch — so the feed buffers harvested
+// events in a min-heap on (DoneSec, Shard, Seq) and releases only
+// those whose terminal time the arrival clock has passed. Every event
+// harvested later is emitted later and terminates no earlier, so the
+// released sequence is nondecreasing in time — exactly what the
+// tracker's rolling windows require.
+type healthFeed struct {
+	tracker   *obs.HealthTracker
+	rings     []*obs.EventRing
+	harvested []int64
+	heap      []obs.Event
+	shardKeys []string
+	driveKeys map[int]string
+}
+
+func newHealthFeed(tracker *obs.HealthTracker, rings []*obs.EventRing) *healthFeed {
+	hf := &healthFeed{
+		tracker:   tracker,
+		rings:     rings,
+		harvested: make([]int64, len(rings)),
+		shardKeys: make([]string, len(rings)),
+		driveKeys: make(map[int]string),
+	}
+	for s := range rings {
+		hf.shardKeys[s] = "shard=" + strconv.Itoa(s)
+	}
+	return hf
+}
+
+// score is the shard's current health for Candidate.Health.
+func (hf *healthFeed) score(shard int) float64 {
+	if hf == nil {
+		return 1
+	}
+	return hf.tracker.Score(hf.shardKeys[shard])
+}
+
+func (hf *healthFeed) driveKey(shard, drive int) string {
+	id := shard<<16 | drive
+	k, ok := hf.driveKeys[id]
+	if !ok {
+		k = hf.shardKeys[shard] + "/drive=" + strconv.Itoa(drive)
+		hf.driveKeys[id] = k
+	}
+	return k
+}
+
+// pump harvests each ring's new tail and scores every buffered event
+// whose terminal time is at or before now.
+func (hf *healthFeed) pump(now float64) {
+	if hf == nil {
+		return
+	}
+	for s, r := range hf.rings {
+		tail := r.Tail(hf.harvested[s])
+		hf.harvested[s] += int64(len(tail))
+		for _, ev := range tail {
+			hf.push(ev)
+		}
+	}
+	for len(hf.heap) > 0 && hf.heap[0].DoneSec <= now {
+		ev := hf.pop()
+		good := ev.Outcome == obs.OutcomeServed
+		hf.tracker.Observe(hf.shardKeys[ev.Shard], ev.DoneSec, good)
+		if ev.Drive >= 0 {
+			hf.tracker.Observe(hf.driveKey(ev.Shard, ev.Drive), ev.DoneSec, good)
+		}
+	}
+}
+
+func eventBefore(a, b obs.Event) bool {
+	if a.DoneSec != b.DoneSec {
+		return a.DoneSec < b.DoneSec
+	}
+	if a.Shard != b.Shard {
+		return a.Shard < b.Shard
+	}
+	return a.Seq < b.Seq
+}
+
+func (hf *healthFeed) push(ev obs.Event) {
+	hf.heap = append(hf.heap, ev)
+	i := len(hf.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(hf.heap[i], hf.heap[parent]) {
+			break
+		}
+		hf.heap[i], hf.heap[parent] = hf.heap[parent], hf.heap[i]
+		i = parent
+	}
+}
+
+func (hf *healthFeed) pop() obs.Event {
+	top := hf.heap[0]
+	n := len(hf.heap) - 1
+	hf.heap[0] = hf.heap[n]
+	hf.heap[n] = obs.Event{} // clear the vacated tail slot
+	hf.heap = hf.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventBefore(hf.heap[l], hf.heap[small]) {
+			small = l
+		}
+		if r < n && eventBefore(hf.heap[r], hf.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		hf.heap[i], hf.heap[small] = hf.heap[small], hf.heap[i]
+		i = small
+	}
+	return top
+}
+
 // Run serves the stream through the routing tier: every shard's event
 // loop advances in lockstep with the arrival clock, the router scores
 // the shards holding a live copy of each request's object, and the
@@ -368,6 +526,25 @@ func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Me
 			regs[s] = obs.NewRegistry()
 		}
 	}
+	// Wide events feed two consumers: the caller's merged ring (the
+	// post-run fold) and the live health plane. Either one arms the
+	// per-shard rings; each ring is big enough that nothing drops, so
+	// the fold and the feed both see every terminal outcome.
+	var rings []*obs.EventRing
+	if cfg.Events != nil || cfg.Health != nil {
+		rings = make([]*obs.EventRing, len(f.bases))
+		cap := len(stream)
+		if cap < 1 {
+			cap = 1
+		}
+		for s := range rings {
+			rings[s] = obs.NewEventRing(cap)
+		}
+	}
+	var hf *healthFeed
+	if cfg.Health != nil {
+		hf = newHealthFeed(cfg.Health, rings)
+	}
 
 	// Every shard library is wrapped in an hsm staging tier. With
 	// cfg.Cache disabled the tier is a strict pass-through — no cache,
@@ -403,6 +580,8 @@ func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Me
 			SpanTrace:   trace,
 			SpanParent:  root,
 			Lane:        1 + s*(1+drives),
+			Events:      eventRingAt(rings, s),
+			Shard:       s,
 		})
 		tier, err := hsm.NewTier(lib, cfg.Cache)
 		if err != nil {
@@ -421,12 +600,16 @@ func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Me
 				return nil, Metrics{}, fmt.Errorf("fleet: shard %d: %w", s, err)
 			}
 		}
+		// Score every event whose terminal time the clock has now
+		// passed, so the router's Candidate.Health reflects outcomes up
+		// to — and only up to — this instant.
+		hf.pump(at)
 		// Route every request carrying this timestamp before advancing
 		// again: a shard's event loop must see all of an instant's
 		// arrivals before it dispatches at that instant, exactly as a
 		// monolithic Run would.
 		for ; i < len(stream) && stream[i].Arrival == at; i++ {
-			d, err := f.route(router, cfg.Seed, i, stream[i], runners, tiers)
+			d, err := f.route(router, cfg.Seed, i, stream[i], runners, tiers, hf)
 			if err != nil {
 				return nil, Metrics{}, err
 			}
@@ -439,7 +622,7 @@ func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Me
 			if d.unroutable {
 				m.Unroutable++
 			}
-			if err := tiers[d.shard].Offer(stream[i]); err != nil {
+			if err := tiers[d.shard].OfferRouted(stream[i], d.routeName()); err != nil {
 				return nil, Metrics{}, fmt.Errorf("fleet: shard %d: %w", d.shard, err)
 			}
 			res[d.shard].Routed++
@@ -484,6 +667,27 @@ func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Me
 		root.AttrInt("served", m.Served)
 		root.End(m.Makespan)
 	}
+	// Drain the health feed: the arrival clock stopped at the last
+	// arrival, but served events terminate after it.
+	hf.pump(math.Inf(1))
+	if cfg.Events != nil {
+		// Fold the per-shard logs into one stream ordered by terminal
+		// time, exactly as the registries fold in spec order: the merged
+		// log is a pure function of the run, identical at any worker
+		// count. Per-shard Seqs survive the fold (the caller's ring only
+		// stamps zero Seqs), so (Shard, Seq) still names the source slot.
+		var all []obs.Event
+		for _, r := range rings {
+			all = append(all, r.Events()...)
+		}
+		sort.Slice(all, func(i, j int) bool { return eventBefore(all[i], all[j]) })
+		for _, ev := range all {
+			if len(cfg.Labels) > 0 {
+				ev.Labels = append([]obs.Label(nil), cfg.Labels...)
+			}
+			cfg.Events.Add(ev)
+		}
+	}
 	if cfg.Reg != nil {
 		for s, reg := range regs {
 			cfg.Reg.MergeLabeled(reg, obs.L("shard", strconv.Itoa(s)))
@@ -507,7 +711,7 @@ func (f *Fleet) Run(cfg RunConfig, stream []tertiary.Request) ([]ShardResult, Me
 // route scores the shards holding a live copy of the request's object
 // and picks the best, breaking score ties by a pure function of
 // (seed, request ordinal).
-func (f *Fleet) route(router Router, seed int64, ordinal int, req tertiary.Request, runners []*tertiary.Runner, tiers []*hsm.Tier) (decision, error) {
+func (f *Fleet) route(router Router, seed int64, ordinal int, req tertiary.Request, runners []*tertiary.Runner, tiers []*hsm.Tier, hf *healthFeed) (decision, error) {
 	groups := f.dir[req.ObjectID]
 	if len(groups) == 0 {
 		return decision{}, fmt.Errorf("fleet: request for unknown object %q", req.ObjectID)
@@ -539,6 +743,7 @@ func (f *Fleet) route(router Router, seed int64, ordinal int, req tertiary.Reque
 			Mounted:    mounted,
 			Cached:     tiers[g.shard].Cached(req.ObjectID),
 			Primary:    gi == 0,
+			Health:     hf.score(g.shard),
 		})
 	}
 	if len(cands) == 0 {

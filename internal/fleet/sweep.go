@@ -10,6 +10,7 @@ import (
 
 	"serpentine/internal/fault"
 	"serpentine/internal/geometry"
+	"serpentine/internal/hsm"
 	"serpentine/internal/obs"
 	"serpentine/internal/rand48"
 	"serpentine/internal/server"
@@ -101,6 +102,9 @@ type SweepConfig struct {
 	// Seed is ignored — each cell derives one from Seed and the cell
 	// coordinates, and each shard offsets it further.
 	Lifecycle fault.LifecycleConfig
+	// Cache puts an hsm staging tier in front of every shard of every
+	// cell; the zero value disables it (see RunConfig.Cache).
+	Cache hsm.Config
 	// Requests is the stream length per cell; 0 selects 400.
 	Requests int
 	// Seed seeds each cell's arrival stream, object picks and routing
@@ -119,6 +123,10 @@ type SweepConfig struct {
 	// SpanCap, when positive, gives every cell its own span tracer of
 	// that capacity and returns the recorded spans on the Cell.
 	SpanCap int
+	// EventCap, when positive, gives every cell its own wide-event ring
+	// of that capacity and returns the collected events on the Cell,
+	// each stamped with the cell's coordinate labels.
+	EventCap int
 }
 
 // Cell is one (rate, shards, router) outcome.
@@ -134,6 +142,9 @@ type Cell struct {
 	// Spans holds the cell's recorded spans when SweepConfig.SpanCap
 	// was set.
 	Spans []obs.Span
+	// Events holds the cell's wide-event log — one event per request,
+	// ordered by terminal time — when SweepConfig.EventCap was set.
+	Events []obs.Event
 }
 
 // Sweep runs every cell of the fleet experiment. Cells run
@@ -260,6 +271,10 @@ func Sweep(cfg SweepConfig) ([]Cell, error) {
 				if cfg.SpanCap > 0 {
 					spans = obs.NewTracer(cfg.SpanCap)
 				}
+				var events *obs.EventRing
+				if cfg.EventCap > 0 {
+					events = obs.NewEventRing(cfg.EventCap)
+				}
 				res, fm, err := fleets[shards].Run(RunConfig{
 					Drives:      drives,
 					MountSec:    cfg.MountSec,
@@ -271,6 +286,7 @@ func Sweep(cfg SweepConfig) ([]Cell, error) {
 					Retry:       cfg.Retry,
 					DeadlineSec: cfg.DeadlineSec,
 					Lifecycle:   lifecycle,
+					Cache:       cfg.Cache,
 					Router:      router,
 					Seed:        seed,
 					Reg:         reg,
@@ -279,7 +295,8 @@ func Sweep(cfg SweepConfig) ([]Cell, error) {
 						obs.L("shards", strconv.Itoa(shards)),
 						obs.L("router", router.Name()),
 					},
-					Spans: spans,
+					Spans:  spans,
+					Events: events,
 				}, stream)
 				if err != nil {
 					reportErr(errs, fmt.Errorf("fleet: sweep cell %g/h %d shards %s: %w", rate, shards, router.Name(), err))
@@ -292,6 +309,9 @@ func Sweep(cfg SweepConfig) ([]Cell, error) {
 				}
 				if spans != nil {
 					cell.Spans = spans.Spans()
+				}
+				if events != nil {
+					cell.Events = events.Events()
 				}
 				cells[i] = cell
 				regs[i] = reg

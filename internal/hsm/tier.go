@@ -150,7 +150,19 @@ func (h installHeap) Less(i, j int) bool {
 }
 func (h installHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *installHeap) Push(x any)   { *h = append(*h, x.(install)) }
-func (h *installHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Pop clears the vacated tail slot before shrinking: the backing
+// array would otherwise pin the popped install's id string and object
+// until overwritten — the same stale-tail retention class the
+// admission queue's compaction once had.
+func (h *installHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = install{}
+	*h = old[:n-1]
+	return x
+}
 
 // Tier is a staging cache wrapped around one library's incremental
 // run loop, speaking the same Advance/Offer/Finish contract so both a
@@ -185,6 +197,12 @@ type Tier struct {
 
 	hits []tertiary.Completion
 	m    Metrics
+
+	// events and shard mirror the library config's wide-event wiring:
+	// cache hits complete outside the library loop, so the tier emits
+	// their wide events itself.
+	events *obs.EventRing
+	shard  int
 
 	trace *obs.TraceHandle
 	root  *obs.SpanHandle
@@ -232,6 +250,7 @@ func NewTier(lib *tertiary.Library, cfg Config) (*Tier, error) {
 
 	lc := lib.Config()
 	t.segBytes = lc.Profile.SegmentBytes
+	t.events, t.shard = lc.Events, lc.Shard
 	if lc.Spans != nil || lc.SpanTrace != nil {
 		trace := lc.SpanTrace
 		if trace == nil {
@@ -404,8 +423,16 @@ func (t *Tier) syncCacheCounters() {
 // misses consume the library's queue capacity. Offers must be
 // nondecreasing in arrival time, like the Runner's.
 func (t *Tier) Offer(req tertiary.Request) error {
+	return t.OfferRouted(req, "")
+}
+
+// OfferRouted is Offer carrying the routing tier's decision for the
+// request: pure annotation, stamped onto the request's wide event
+// (by the tier for a hit, by the library for a miss) and nothing
+// else.
+func (t *Tier) OfferRouted(req tertiary.Request, route string) error {
 	if t.cache == nil {
-		return t.runner.Offer(req)
+		return t.runner.OfferRouted(req, route)
 	}
 	if t.finished {
 		return fmt.Errorf("hsm: offer after Finish")
@@ -419,16 +446,16 @@ func (t *Tier) Offer(req tertiary.Request) error {
 	t.last = req.Arrival
 	t.absorb(req.Arrival)
 	if t.cache.Touch(req.ObjectID) {
-		t.hit(req)
+		t.hit(req, route)
 		return nil
 	}
 	t.m.Misses++
 	t.missC.Inc()
-	return t.runner.Offer(req)
+	return t.runner.OfferRouted(req, route)
 }
 
 // hit completes the request off the staging disk.
-func (t *Tier) hit(req tertiary.Request) {
+func (t *Tier) hit(req tertiary.Request, route string) {
 	obj := t.byID[req.ObjectID]
 	transfer := float64(t.objBytes(obj)) / t.disk.BytesPerSec
 	svc := t.disk.LatencySec + transfer
@@ -453,6 +480,22 @@ func (t *Tier) hit(req tertiary.Request) {
 	}
 	t.hitC.Inc()
 	t.hitHist.Observe(svc)
+	if t.events != nil {
+		t.events.Add(obs.Event{
+			Shard:       t.shard,
+			Object:      req.ObjectID,
+			Tape:        obj.Tape,
+			Drive:       CacheDriveID,
+			Class:       req.Class(),
+			Outcome:     obs.OutcomeServed,
+			Cache:       true,
+			Route:       route,
+			ArrivalSec:  req.Arrival,
+			DoneSec:     done,
+			LocateSec:   t.disk.LatencySec,
+			TransferSec: transfer,
+		})
+	}
 	if t.trace != nil {
 		t.trace.Start("hit", t.root, req.Arrival).
 			Attr("object", req.ObjectID).

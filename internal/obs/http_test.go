@@ -24,7 +24,7 @@ func introspectionFixture() (*Registry, *Tracer) {
 
 func TestIntrospectionEndpoints(t *testing.T) {
 	reg, tr := introspectionFixture()
-	srv := httptest.NewServer(NewMux(reg, tr))
+	srv := httptest.NewServer(NewMux(MuxConfig{Reg: reg, Tracer: tr}))
 	defer srv.Close()
 
 	get := func(path string) string {
@@ -80,9 +80,9 @@ func TestIntrospectionEndpoints(t *testing.T) {
 }
 
 func TestIntrospectionToleratesNils(t *testing.T) {
-	srv := httptest.NewServer(NewMux(nil, nil))
+	srv := httptest.NewServer(NewMux(MuxConfig{}))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/statusz", "/tracez"} {
+	for _, path := range []string{"/metrics", "/statusz", "/tracez", "/healthz"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -103,7 +103,7 @@ func TestIntrospectionToleratesNils(t *testing.T) {
 
 func TestServeBindsAndServes(t *testing.T) {
 	reg, tr := introspectionFixture()
-	addr, err := Serve("127.0.0.1:0", reg, tr)
+	addr, err := Serve("127.0.0.1:0", MuxConfig{Reg: reg, Tracer: tr})
 	if err != nil {
 		t.Skipf("cannot bind a local listener: %v", err)
 	}

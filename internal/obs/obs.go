@@ -25,7 +25,8 @@ import (
 
 // Label is one name=value dimension of a metric.
 type Label struct {
-	Key, Value string
+	Key   string `json:"key"`
+	Value string `json:"value"`
 }
 
 // L is shorthand for constructing a Label.
@@ -475,4 +476,18 @@ func (t *Trace) Dropped() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped
+}
+
+// Reset empties the ring and clears the whole backing array, so the
+// store does not pin evicted events' strings after the consumer is
+// done with them (the stale-tail retention class the admission
+// queue's compaction once had). Counters reset too.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	clear(t.ring[:cap(t.ring)])
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.total = 0
+	t.dropped = 0
 }

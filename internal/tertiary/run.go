@@ -367,11 +367,13 @@ func (s *runState) admit(until float64) {
 		s.next++
 		if s.breaker != nil && !s.breaker.Admits(p.req.BestEffort) {
 			s.shedRequests(1)
+			s.emitTerminal(p, obs.OutcomeShed, obs.EventNoDrive, p.req.Arrival)
 			continue
 		}
 		if s.dead != nil && s.dead[p.obj.Tape] {
 			if !s.redirect(&p) {
 				s.failRequests(1)
+				s.emitTerminal(p, obs.OutcomeFailed, obs.EventNoDrive, p.req.Arrival)
 				continue
 			}
 			s.arrivals[id] = p // the drain below re-reads by ID
@@ -383,6 +385,7 @@ func (s *runState) admit(until float64) {
 				s.cRejected = s.counter("rejected_total")
 			}
 			s.cRejected.Inc()
+			s.emitTerminal(p, obs.OutcomeRejected, obs.EventNoDrive, p.req.Arrival)
 		}
 	}
 	// Drain the admission queue into the robot's per-cartridge view.
@@ -503,6 +506,59 @@ func (s *runState) redirect(p *pending) bool {
 			return true
 		}
 	}
+}
+
+// emitTerminal records the wide event for a request ending in a
+// non-served terminal state at virtual time at: the whole wait since
+// arrival books as queue time (minus any rescue time already accrued,
+// which keeps its own column), so the attribution vector telescopes
+// to the sojourn for every outcome. driveID is the drive involved in
+// the final decision, or obs.EventNoDrive when none was.
+func (s *runState) emitTerminal(p pending, outcome string, driveID int, at float64) {
+	if s.cfg.Events == nil {
+		return
+	}
+	s.cfg.Events.Add(obs.Event{
+		Shard:      s.cfg.Shard,
+		Object:     p.req.ObjectID,
+		Tape:       p.obj.Tape,
+		Drive:      driveID,
+		Class:      p.req.Class(),
+		Outcome:    outcome,
+		Route:      p.route,
+		Replica:    p.replica,
+		ArrivalSec: p.req.Arrival,
+		DoneSec:    at,
+		QueueSec:   at - p.req.Arrival - p.rescueSec,
+		RescueSec:  p.rescueSec,
+	})
+}
+
+// emitServed records the wide event for one completion, copying the
+// attribution vector the completion carries.
+func (s *runState) emitServed(p pending, driveID int, done float64, attr Attribution) {
+	if s.cfg.Events == nil {
+		return
+	}
+	s.cfg.Events.Add(obs.Event{
+		Shard:       s.cfg.Shard,
+		Object:      p.req.ObjectID,
+		Tape:        p.obj.Tape,
+		Drive:       driveID,
+		Class:       p.req.Class(),
+		Outcome:     obs.OutcomeServed,
+		Route:       p.route,
+		Replica:     p.replica,
+		ArrivalSec:  p.req.Arrival,
+		DoneSec:     done,
+		QueueSec:    attr.QueueSec,
+		RobotSec:    attr.RobotSec,
+		MountSec:    attr.MountSec,
+		LocateSec:   attr.LocateSec,
+		TransferSec: attr.TransferSec,
+		RetrySec:    attr.RetrySec,
+		RescueSec:   attr.RescueSec,
+	})
 }
 
 // failRequests counts n requests abandoned permanently.
@@ -666,6 +722,7 @@ func (s *runState) handleRequeue(rq *requeueBatch) {
 	for _, p := range rq.ps {
 		if s.dead != nil && s.dead[p.obj.Tape] && !s.redirect(&p) {
 			s.failRequests(1)
+			s.emitTerminal(p, obs.OutcomeFailed, obs.EventNoDrive, s.now)
 			continue
 		}
 		s.q.push(p)
@@ -841,6 +898,7 @@ func (s *runState) serve(d *driveState, serial int64, now float64) (bool, error)
 		for _, p := range batch {
 			if p.req.Deadline > 0 && now > p.req.Deadline {
 				s.shedRequests(1)
+				s.emitTerminal(p, obs.OutcomeShed, obs.EventNoDrive, now)
 				continue
 			}
 			kept = append(kept, p)
@@ -998,6 +1056,7 @@ func (s *runState) loseCartridge(d *driveState, serial int64, now float64, batch
 			redirected = append(redirected, p)
 		} else {
 			s.failRequests(1)
+			s.emitTerminal(p, obs.OutcomeFailed, obs.EventNoDrive, tripEnd)
 		}
 	}
 	if len(redirected) > 0 {
@@ -1093,6 +1152,7 @@ func (s *runState) serveClass(d *driveState, serial int64, now, serveStart, c0, 
 				DriveID:     d.id,
 				Attribution: attr,
 			})
+			s.emitServed(p, d.id, done, attr)
 			if p.replica > 0 {
 				s.m.ReplicaReads++
 				if s.cReplica == nil {
@@ -1149,6 +1209,7 @@ func (s *runState) serveClass(d *driveState, serial int64, now, serveStart, c0, 
 					redirected = append(redirected, p)
 				} else {
 					s.failRequests(1)
+					s.emitTerminal(p, obs.OutcomeFailed, d.id, failAbs)
 				}
 			}
 			if len(redirected) > 0 {
@@ -1157,6 +1218,9 @@ func (s *runState) serveClass(d *driveState, serial int64, now, serveStart, c0, 
 			}
 		default:
 			s.failRequests(len(s.slots[si]))
+			for _, p := range s.slots[si] {
+				s.emitTerminal(p, obs.OutcomeFailed, d.id, failAbs)
+			}
 		}
 		delete(s.slotOf, seg)
 	}

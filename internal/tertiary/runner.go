@@ -42,6 +42,13 @@ func (l *Library) StartRun() (*Runner, error) {
 // rewind. The request is admitted (or rejected, shed, redirected) when
 // the loop next advances to its arrival time.
 func (r *Runner) Offer(req Request) error {
+	return r.OfferRouted(req, "")
+}
+
+// OfferRouted is Offer carrying the routing tier's decision for the
+// request ("affinity", "cross-shard", ...): pure annotation, stamped
+// onto the request's wide event and nothing else.
+func (r *Runner) OfferRouted(req Request, route string) error {
 	s := r.s
 	if s.finished {
 		return fmt.Errorf("tertiary: offer after Finish")
@@ -55,6 +62,7 @@ func (r *Runner) Offer(req Request) error {
 			req.Arrival, r.last, s.now)
 	}
 	r.last = req.Arrival
+	p.route = route
 	s.hasDeadlines = s.hasDeadlines || dl
 	s.arrivals = append(s.arrivals, p)
 	return nil

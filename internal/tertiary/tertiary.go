@@ -115,6 +115,15 @@ type Request struct {
 	BestEffort bool
 }
 
+// Class names the request's service class for wide events and SLO
+// objectives: "best-effort" or "standard".
+func (r Request) Class() string {
+	if r.BestEffort {
+		return "best-effort"
+	}
+	return "standard"
+}
+
 // Completion reports one served request.
 type Completion struct {
 	Request
@@ -301,6 +310,16 @@ type Config struct {
 	// disjoint lane block so parallel shards render as parallel row
 	// groups; 0 (the default) keeps the historical lane numbering.
 	Lane int
+	// Events, when non-nil, receives one wide event per request
+	// reaching a terminal state (served, failed, rejected, shed) —
+	// the canonical per-request record carrying identity, placement,
+	// outcome and the full latency attribution vector. Like spans,
+	// emission is pure accounting: it changes no simulated timing
+	// bit, and a nil ring costs nothing.
+	Events *obs.EventRing
+	// Shard stamps every emitted wide event with the library's fleet
+	// shard; 0 outside a fleet.
+	Shard int
 }
 
 // withDefaults resolves the zero-value fields.
@@ -457,4 +476,8 @@ type pending struct {
 	obj       Object
 	replica   int
 	rescueSec float64
+	// route is the routing tier's decision for the request
+	// ("affinity", "cross-shard", ...), carried through to the wide
+	// event; "" outside a fleet.
+	route string
 }

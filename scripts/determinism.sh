@@ -10,6 +10,8 @@
 #   availability  the lifecycle-fault sweep (results/availability.txt)
 #   fleet         the sharded-cluster sweep (results/fleet.txt)
 #   cache         the staging-tier sweep (results/cache.txt)
+#   slo           the wide-event log and its SLO report
+#                 (results/events.jsonl, results/slo.txt)
 set -eu
 
 tmp=$(mktemp -d)
@@ -46,8 +48,16 @@ cache)
 	cmp "$tmp/cache-1.txt" "$tmp/cache-8.txt"
 	cmp "$tmp/cache-1.txt" results/cache.txt
 	;;
+slo)
+	go run ./cmd/events -workers 1 -out "$tmp/events-1.jsonl"
+	go run ./cmd/events -workers 8 -out "$tmp/events-8.jsonl"
+	cmp "$tmp/events-1.jsonl" "$tmp/events-8.jsonl"
+	cmp "$tmp/events-1.jsonl" results/events.jsonl
+	go run ./cmd/slo -events "$tmp/events-1.jsonl" >"$tmp/slo.txt"
+	cmp "$tmp/slo.txt" results/slo.txt
+	;;
 *)
-	echo "usage: $0 {results|trace|availability|fleet|cache}" >&2
+	echo "usage: $0 {results|trace|availability|fleet|cache|slo}" >&2
 	exit 2
 	;;
 esac
